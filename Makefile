@@ -1,0 +1,37 @@
+# Calliope — build/test/reproduce targets. Everything is stdlib Go.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race . ./internal/wire/ ./internal/msu/ ./internal/coordinator/ ./internal/client/
+
+# One measurement per table/figure, as Go benchmarks.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x -run xxx ./...
+
+# Regenerate every table and figure in the paper's layout.
+repro:
+	$(GO) run ./cmd/calliope-bench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videomail
+	$(GO) run ./examples/seminar
+	$(GO) run ./examples/hotcontent
+	$(GO) run ./examples/videoondemand
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,183 @@
+package calliope
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIEndToEnd builds the real binaries and drives the full
+// workflow the README documents: mkcontent formats a disk image and
+// loads a movie, ffilter produces the fast-scan companions, the
+// coordinator and msu processes come up, and calliope-client lists,
+// checks status, and plays with VCR commands over stdin.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin,
+		"./cmd/coordinator", "./cmd/msu", "./cmd/calliope-client",
+		"./cmd/mkcontent", "./cmd/ffilter")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	work := t.TempDir()
+	disk := filepath.Join(work, "disk0.img")
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// Content: a 3-second movie plus fast companions (mkcontent -fast).
+	out := run("mkcontent", "-disk", disk, "-format", "-disk-size", "33554432",
+		"-name", "movie", "-kind", "mpeg1", "-duration", "3s", "-fast")
+	if !strings.Contains(out, `loaded "movie"`) {
+		t.Fatalf("mkcontent output:\n%s", out)
+	}
+	// Re-filter with a different interval via ffilter (overwrites are
+	// rejected, so filter a second item).
+	run("mkcontent", "-disk", disk, "-disk-size", "33554432",
+		"-name", "short", "-kind", "mpeg1", "-duration", "1s")
+	out = run("ffilter", "-disk", disk, "-disk-size", "33554432", "-name", "short", "-every", "10")
+	if !strings.Contains(out, "companions short.ff and short.fb loaded") {
+		t.Fatalf("ffilter output:\n%s", out)
+	}
+	out = run("mkcontent", "-disk", disk, "-disk-size", "33554432", "-list")
+	for _, want := range []string{"movie", "movie.ff", "movie.fb", "short", "short.ff"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list missing %q:\n%s", want, out)
+		}
+	}
+
+	// Servers.
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	coord := exec.Command(filepath.Join(bin, "coordinator"), "-addr", addr, "-quiet")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { coord.Process.Kill(); coord.Wait() }() //nolint:errcheck
+	waitTCP(t, addr)
+
+	msuProc := exec.Command(filepath.Join(bin, "msu"),
+		"-id", "msu0", "-coordinator", addr, "-disk", disk,
+		"-disk-size", "33554432", "-quiet")
+	var msuOut bytes.Buffer
+	msuProc.Stdout, msuProc.Stderr = &msuOut, &msuOut
+	if err := msuProc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { msuProc.Process.Kill(); msuProc.Wait() }() //nolint:errcheck
+
+	// Client: wait until the MSU has registered.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out = run("calliope-client", "-coordinator", addr, "status")
+		if strings.Contains(out, "MSUs: 1 (1 available)") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("MSU never registered: %s\nmsu output: %s", out, msuOut.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	out = run("calliope-client", "-coordinator", addr, "list")
+	if !strings.Contains(out, "movie") || !strings.Contains(out, "mpeg1") {
+		t.Fatalf("client list:\n%s", out)
+	}
+	if strings.Contains(out, "movie.ff") {
+		t.Fatalf("fast companions leaked into the table of contents:\n%s", out)
+	}
+	out = run("calliope-client", "-coordinator", addr, "types")
+	if !strings.Contains(out, "seminar") || !strings.Contains(out, "rtp-video+vat-audio") {
+		t.Fatalf("client types:\n%s", out)
+	}
+
+	// Play with VCR commands on stdin: let it run briefly, pause, ff,
+	// quit. The client prints a final packet count.
+	play := exec.Command(filepath.Join(bin, "calliope-client"), "-coordinator", addr, "play", "short")
+	stdin, err := play.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var playOut bytes.Buffer
+	play.Stdout, play.Stderr = &playOut, &playOut
+	if err := play.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		fmt.Fprintln(stdin, "pause")
+		time.Sleep(100 * time.Millisecond)
+		fmt.Fprintln(stdin, "play")
+		time.Sleep(200 * time.Millisecond)
+		fmt.Fprintln(stdin, "ff")
+		time.Sleep(200 * time.Millisecond)
+		fmt.Fprintln(stdin, "quit")
+	}()
+	done := make(chan error, 1)
+	go func() { done <- play.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("play exited badly: %v\n%s", err, playOut.String())
+		}
+	case <-time.After(20 * time.Second):
+		play.Process.Kill() //nolint:errcheck
+		t.Fatalf("play wedged:\n%s", playOut.String())
+	}
+	if !strings.Contains(playOut.String(), "stopped:") {
+		t.Fatalf("play output:\n%s", playOut.String())
+	}
+
+	// Delete through the CLI.
+	out = run("calliope-client", "-coordinator", addr, "delete", "short")
+	if !strings.Contains(out, `deleted "short"`) {
+		t.Fatalf("delete output:\n%s", out)
+	}
+	out = run("calliope-client", "-coordinator", addr, "list")
+	if strings.Contains(out, "short") {
+		t.Fatalf("short survived deletion:\n%s", out)
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never came up", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

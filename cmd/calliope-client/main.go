@@ -1,0 +1,250 @@
+// Command calliope-client is an interactive Calliope client (§2.1):
+// browse the table of contents, play content with VCR control, or
+// record a synthetic stream.
+//
+// Usage:
+//
+//	calliope-client -coordinator 127.0.0.1:4160 list
+//	calliope-client -coordinator 127.0.0.1:4160 types
+//	calliope-client -coordinator 127.0.0.1:4160 status
+//	calliope-client -coordinator 127.0.0.1:4160 play <content>
+//	calliope-client -coordinator 127.0.0.1:4160 record <name> <type> <duration>
+//	calliope-client -coordinator 127.0.0.1:4160 delete <content>
+//
+// During play, VCR commands are read from stdin:
+// pause, play, seek <duration>, ff, fb, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"calliope"
+	"calliope/internal/media"
+	"calliope/internal/units"
+)
+
+func main() {
+	coord := flag.String("coordinator", "127.0.0.1:4160", "Coordinator address")
+	user := flag.String("user", os.Getenv("USER"), "user name for the session")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c, err := calliope.Dial(*coord, *user)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "list":
+		items, err := c.ListContent()
+		if err != nil {
+			fail(err)
+		}
+		if len(items) == 0 {
+			fmt.Println("(no content)")
+			return
+		}
+		fmt.Printf("%-24s %-12s %-12s %-10s %s\n", "NAME", "TYPE", "LENGTH", "SIZE", "FAST")
+		for _, it := range items {
+			fmt.Printf("%-24s %-12s %-12s %-10s %v\n",
+				it.Name, it.Type, it.Length.Round(time.Millisecond), it.Size, it.HasFast)
+		}
+	case "types":
+		types, err := c.ListTypes()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-12s %-9s %-14s %-14s %-9s %s\n", "NAME", "CLASS", "BANDWIDTH", "STORAGE", "PROTOCOL", "COMPONENTS")
+		for _, t := range types {
+			fmt.Printf("%-12s %-9s %-14s %-14s %-9s %s\n",
+				t.Name, t.Class, t.Bandwidth, t.Storage, t.Protocol, strings.Join(t.Components, "+"))
+		}
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("MSUs: %d (%d available)  streams: %d  contents: %d  sessions: %d  requests: %d\n",
+			st.MSUs, st.MSUsAvailable, st.ActiveStreams, st.Contents, st.Sessions, st.Requests)
+		for _, d := range st.Disks {
+			state := "up"
+			if !d.Alive {
+				state = "DOWN"
+			}
+			fmt.Printf("  %-14s %-5s bandwidth %s of %s   space %s of %s\n",
+				d.Disk, state, d.BandwidthUsed, d.BandwidthCap, d.SpaceUsed, d.SpaceCap)
+		}
+	case "play":
+		if len(args) < 2 {
+			usage()
+		}
+		play(c, args[1])
+	case "record":
+		if len(args) < 4 {
+			usage()
+		}
+		dur, err := time.ParseDuration(args[3])
+		if err != nil {
+			fail(err)
+		}
+		record(c, args[1], args[2], dur)
+	case "delete":
+		if len(args) < 2 {
+			usage()
+		}
+		if err := c.DeleteContent(args[1]); err != nil {
+			fail(err)
+		}
+		fmt.Printf("deleted %q\n", args[1])
+	default:
+		usage()
+	}
+}
+
+// play streams content to a local receiver and drives VCR commands
+// from stdin.
+func play(c *calliope.Client, content string) {
+	items, err := c.ListContent()
+	if err != nil {
+		fail(err)
+	}
+	var typ string
+	for _, it := range items {
+		if it.Name == content {
+			typ = it.Type
+		}
+	}
+	if typ == "" {
+		fail(fmt.Errorf("no such content %q", content))
+	}
+	recv, err := calliope.NewReceiver("")
+	if err != nil {
+		fail(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("tv", typ, recv.Addr(), ""); err != nil {
+		fail(err)
+	}
+	stream, err := c.Play(content, "tv", true)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("playing %q (%v) from %s — commands: pause, play, seek <dur>, ff, fb, quit\n",
+		content, stream.Length().Round(time.Millisecond), stream.Info().MSU)
+
+	go func() {
+		for range stream.EOF() {
+			fmt.Printf("\n[end of content — %d packets, %s received]\n> ", recv.Count(), units.ByteSize(recv.Bytes()))
+		}
+	}()
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for in.Scan() {
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		var err error
+		switch fields[0] {
+		case "pause":
+			_, err = stream.Pause()
+		case "play":
+			_, err = stream.Resume()
+		case "seek":
+			if len(fields) < 2 {
+				err = fmt.Errorf("seek needs a duration")
+				break
+			}
+			var pos time.Duration
+			if pos, err = time.ParseDuration(fields[1]); err == nil {
+				_, err = stream.Seek(pos)
+			}
+		case "ff":
+			_, err = stream.FastForward()
+		case "fb":
+			_, err = stream.FastBackward()
+		case "quit":
+			if err := stream.Quit(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("stopped: %d packets, %s received\n", recv.Count(), units.ByteSize(recv.Bytes()))
+			return
+		default:
+			err = fmt.Errorf("unknown command %q", fields[0])
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+		fmt.Print("> ")
+	}
+}
+
+// record generates a synthetic stream of the given type and records it
+// in real time.
+func record(c *calliope.Client, name, typ string, dur time.Duration) {
+	recv, err := calliope.NewReceiver("")
+	if err != nil {
+		fail(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("cam", typ, recv.Addr(), ""); err != nil {
+		fail(err)
+	}
+	rec, err := c.Record(name, typ, "cam", dur+dur/4, false)
+	if err != nil {
+		fail(err)
+	}
+	data, _ := rec.Sink(typ)
+	if data == "" {
+		fail(fmt.Errorf("no data sink for type %q", typ))
+	}
+	conn, err := net.Dial("udp", data)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+
+	pkts, err := media.GenerateCBR(media.CBRConfig{
+		Rate: 1500 * units.Kbps, PacketSize: 4096, FPS: 30, GOP: 15, Duration: dur,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("recording %q: sending %d packets over %v to %s\n", name, len(pkts), dur, data)
+	start := time.Now()
+	for _, p := range pkts {
+		if d := time.Until(start.Add(p.Time)); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := conn.Write(p.Payload); err != nil {
+			fail(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := rec.Stop(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("recorded %q\n", name)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: calliope-client [-coordinator addr] {list|types|status|play <content>|record <name> <type> <duration>|delete <content>}")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "calliope-client:", err)
+	os.Exit(1)
+}

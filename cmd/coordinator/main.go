@@ -1,0 +1,53 @@
+// Command coordinator runs a Calliope Coordinator: the global resource
+// manager clients contact first (§2.2). One per installation.
+//
+// Usage:
+//
+//	coordinator -addr 127.0.0.1:4160 [-queue-timeout 30s] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"calliope"
+	"calliope/internal/coordinator"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4160", "TCP listen address for clients and MSUs")
+	queueTimeout := flag.Duration("queue-timeout", 30*time.Second, "how long queued play requests may wait")
+	quiet := flag.Bool("quiet", false, "disable operational logging")
+	flag.Parse()
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "coordinator: ", log.LstdFlags)
+	}
+	c, err := coordinator.New(coordinator.Config{
+		Addr:         *addr,
+		Types:        calliope.DefaultTypes(),
+		QueueTimeout: *queueTimeout,
+		Logger:       logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := c.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("coordinator listening on %s\n", c.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	c.Close()
+}

@@ -1,0 +1,60 @@
+// Command ffilter is the paper's offline fast-forward/backward
+// filtering program (§2.3.1): it "reads the recorded stream, selects
+// every fifteenth video frame, recompresses the filtered stream, and
+// loads it into the server", plus the reversed variant for
+// fast-backward. Run it against an MSU disk image while the MSU is
+// offline.
+//
+// Usage:
+//
+//	ffilter -disk disk0.img -name movie [-every 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"calliope/internal/blockdev"
+	"calliope/internal/media"
+	"calliope/internal/msu"
+	"calliope/internal/msufs"
+	"calliope/internal/units"
+)
+
+func main() {
+	disk := flag.String("disk", "", "disk image path")
+	size := flag.Int64("disk-size", int64(256*units.MB), "disk image size")
+	name := flag.String("name", "", "content to filter")
+	every := flag.Int("every", media.DefaultFilterEvery, "select every N-th frame")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ffilter:", err)
+		os.Exit(1)
+	}
+	if *disk == "" || *name == "" {
+		fail(fmt.Errorf("-disk and -name are required"))
+	}
+	dev, err := blockdev.OpenFile(*disk, *size)
+	if err != nil {
+		fail(err)
+	}
+	vol, err := msufs.Mount(dev)
+	if err != nil {
+		fail(err)
+	}
+	st, err := vol.Stat(*name)
+	if err != nil {
+		fail(err)
+	}
+	pkts, err := msu.ReadBack(msufs.NewStore(vol), *name)
+	if err != nil {
+		fail(err)
+	}
+	if err := msu.IngestFast(msufs.NewStore(vol), *name, st.Attrs[msu.AttrType], pkts, *every); err != nil {
+		fail(err)
+	}
+	fmt.Printf("filtered %q (every %dth frame): companions %s.ff and %s.fb loaded\n",
+		*name, *every, *name, *name)
+}

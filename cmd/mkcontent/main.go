@@ -1,0 +1,137 @@
+// Command mkcontent generates synthetic multimedia content and loads
+// it into an MSU disk image offline — the administrative loading
+// interface of §2.3.1. It can also produce the fast-forward /
+// fast-backward companion files.
+//
+// Usage:
+//
+//	mkcontent -disk disk0.img [-format] -name movie -kind mpeg1 \
+//	    -duration 2m [-rate-kbps 1500] [-fast]
+//	mkcontent -disk disk0.img -name talk -kind nv -duration 5m -rate-kbps 650
+//	mkcontent -disk disk0.img -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"calliope/internal/blockdev"
+	"calliope/internal/media"
+	"calliope/internal/msu"
+	"calliope/internal/msufs"
+	"calliope/internal/units"
+)
+
+func main() {
+	disk := flag.String("disk", "", "disk image path")
+	size := flag.Int64("disk-size", int64(256*units.MB), "disk image size when creating")
+	format := flag.Bool("format", false, "format the disk image first")
+	list := flag.Bool("list", false, "list the volume's files and exit")
+	fsck := flag.Bool("fsck", false, "audit the volume's metadata and exit")
+	name := flag.String("name", "", "content name")
+	kind := flag.String("kind", "mpeg1", "content kind: mpeg1 (CBR), nv (bursty VBR) or vat (audio)")
+	duration := flag.Duration("duration", time.Minute, "content length")
+	rateKbps := flag.Int64("rate-kbps", 0, "stream rate in kbit/s (default: 1500 for mpeg1, 650 for nv)")
+	packet := flag.Int("packet", 0, "packet size in bytes (default: 4096 for mpeg1, 1024 for nv)")
+	fast := flag.Bool("fast", false, "also produce fast-forward/backward companions (every 15th frame)")
+	seed := flag.Int64("seed", 1, "generator seed for nv content")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mkcontent:", err)
+		os.Exit(1)
+	}
+	if *disk == "" {
+		fail(fmt.Errorf("-disk is required"))
+	}
+	dev, err := blockdev.OpenFile(*disk, *size)
+	if err != nil {
+		fail(err)
+	}
+	var vol *msufs.Volume
+	if *format {
+		vol, err = msufs.Format(dev, msufs.Options{})
+	} else {
+		vol, err = msufs.Mount(dev)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *fsck {
+		issues := vol.Fsck()
+		if len(issues) == 0 {
+			fmt.Println("volume is clean")
+			return
+		}
+		for _, i := range issues {
+			fmt.Println(i)
+		}
+		os.Exit(1)
+	}
+	if *list {
+		for _, fi := range vol.List() {
+			fmt.Printf("%-24s %10d bytes  type=%s fast=%v\n",
+				fi.Name, fi.Size, fi.Attrs[msu.AttrType], fi.Attrs[msu.AttrFastFwd] != "")
+		}
+		fmt.Printf("free: %d of %d blocks (%s each)\n",
+			vol.FreeBlocks(), vol.TotalBlocks(), units.ByteSize(vol.BlockSize()))
+		return
+	}
+	if *name == "" {
+		fail(fmt.Errorf("-name is required"))
+	}
+
+	var pkts []media.Packet
+	var contentType string
+	switch *kind {
+	case "mpeg1":
+		rate := units.BitRate(*rateKbps) * units.Kbps
+		if rate == 0 {
+			rate = 1500 * units.Kbps
+		}
+		ps := *packet
+		if ps == 0 {
+			ps = 4096
+		}
+		pkts, err = media.GenerateCBR(media.CBRConfig{
+			Rate: rate, PacketSize: ps, FPS: 30, GOP: 15, Duration: *duration,
+		})
+		contentType = "mpeg1"
+	case "nv":
+		rate := units.BitRate(*rateKbps) * units.Kbps
+		if rate == 0 {
+			rate = 650 * units.Kbps
+		}
+		ps := *packet
+		if ps == 0 {
+			ps = 1024
+		}
+		pkts, err = media.GenerateVBR(media.VBRConfig{
+			TargetRate: rate, FPS: 15, PacketSize: ps, Duration: *duration, Seed: *seed,
+		})
+		contentType = "rtp-video"
+	case "vat":
+		pkts, err = media.GenerateVATAudio(media.VATAudioConfig{Duration: *duration})
+		contentType = "vat-audio"
+	default:
+		err = fmt.Errorf("unknown kind %q (want mpeg1, nv or vat)", *kind)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if err := msu.Ingest(msufs.NewStore(vol), *name, contentType, pkts); err != nil {
+		fail(err)
+	}
+	fmt.Printf("loaded %q: %d packets, %s, avg %s\n",
+		*name, len(pkts), *duration, media.AverageRate(pkts))
+	if *fast {
+		if err := msu.IngestFast(msufs.NewStore(vol), *name, contentType, pkts, media.DefaultFilterEvery); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded fast-scan companions %q.ff and %q.fb\n", *name, *name)
+	}
+}

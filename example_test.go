@@ -1,0 +1,98 @@
+package calliope_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"calliope"
+	"calliope/internal/media"
+	"calliope/internal/msufs"
+	"calliope/internal/units"
+)
+
+// Example shows the whole lifecycle: start a one-machine installation,
+// load synthetic MPEG-1 content, play it to a UDP receiver, and drive
+// it with VCR commands. (Compiled as documentation; not executed.)
+func Example() {
+	movie, err := media.GenerateCBR(media.CBRConfig{
+		Rate: 1500 * units.Kbps, PacketSize: 4096, FPS: 30, GOP: 15,
+		Duration: 2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := calliope.StartCluster(calliope.ClusterConfig{
+		Preload: func(m, d int, vol *msufs.Volume) error {
+			if err := calliope.Ingest(vol, "movie", "mpeg1", movie); err != nil {
+				return err
+			}
+			// Fast-forward/backward companion files (§2.3.1).
+			return calliope.IngestFast(vol, "movie", "mpeg1", movie, 15)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	c, err := calliope.Dial(cluster.Addr(), "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	recv, err := calliope.NewReceiver("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("tv", "mpeg1", recv.Addr(), ""); err != nil {
+		log.Fatal(err)
+	}
+
+	stream, err := c.Play("movie", "tv", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream.Seek(30 * time.Second) //nolint:errcheck
+	stream.FastForward()          //nolint:errcheck
+	stream.Resume()               //nolint:errcheck
+	if err := stream.Quit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("received", recv.Count(), "packets")
+}
+
+// Example_record shows the recording path: reserve space from a length
+// estimate, send media over UDP, and commit. (Compiled as
+// documentation; not executed.)
+func Example_record() {
+	cluster, err := calliope.StartCluster(calliope.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	c, err := calliope.Dial(cluster.Addr(), "reporter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	recv, _ := calliope.NewReceiver("")
+	defer recv.Close()
+	c.RegisterPort("cam", "rtp-video", recv.Addr(), "") //nolint:errcheck
+
+	rec, err := c.Record("interview", "rtp-video", "cam", 10*time.Minute, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, ctrl := rec.Sink("rtp-video")
+	fmt.Println("send RTP to", data, "and RTCP to", ctrl)
+	// ... stream media to those addresses ...
+	rec.Stop() //nolint:errcheck
+	if _, err := c.WaitForContent("interview", 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+}

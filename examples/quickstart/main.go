@@ -1,0 +1,98 @@
+// Quickstart: the smallest possible Calliope installation — a
+// Coordinator and MSU in one process (the paper's "very small
+// installations" case), one synthetic MPEG-1 movie, one client playing
+// it with a VCR command or two.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"calliope"
+	"calliope/internal/media"
+	"calliope/internal/msufs"
+	"calliope/internal/units"
+)
+
+func main() {
+	// Synthesize 5 seconds of "MPEG-1": 1.5 Mbit/s, 4 KB packets, a
+	// GOP every 15 frames.
+	movie, err := media.GenerateCBR(media.CBRConfig{
+		Rate: 1500 * units.Kbps, PacketSize: 4096, FPS: 30, GOP: 15,
+		Duration: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One Coordinator + one MSU with one in-memory disk, preloaded
+	// with the movie and its fast-scan companions.
+	cluster, err := calliope.StartCluster(calliope.ClusterConfig{
+		Preload: func(m, d int, vol *msufs.Volume) error {
+			if err := calliope.Ingest(vol, "big-buck-1996", "mpeg1", movie); err != nil {
+				return err
+			}
+			return calliope.IngestFast(vol, "big-buck-1996", "mpeg1", movie, 15)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("Calliope up at %s\n", cluster.Addr())
+
+	// A client: session, table of contents, display port, play.
+	c, err := calliope.Dial(cluster.Addr(), "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	items, err := c.ListContent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("table of contents:")
+	for _, it := range items {
+		fmt.Printf("  %-16s %-8s %v (fast scan: %v)\n", it.Name, it.Type, it.Length.Round(time.Millisecond), it.HasFast)
+	}
+
+	recv, err := calliope.NewReceiver("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("tv", "mpeg1", recv.Addr(), ""); err != nil {
+		log.Fatal(err)
+	}
+
+	stream, err := c.Play("big-buck-1996", "tv", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("playing from %s, length %v\n", stream.Info().MSU, stream.Length().Round(time.Millisecond))
+
+	// Watch a second, pause, skip ahead, finish.
+	time.Sleep(time.Second)
+	ack, err := stream.Pause()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paused at %v with %d packets received\n", ack.Pos.Round(time.Millisecond), recv.Count())
+
+	if _, err := stream.Seek(4 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("seeked to 4s; waiting for end of content")
+	select {
+	case eof := <-stream.EOF():
+		fmt.Printf("end of content at %v\n", eof.Pos.Round(time.Millisecond))
+	case <-time.After(10 * time.Second):
+		log.Fatal("no EOF")
+	}
+	if err := stream.Quit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %d packets, %s delivered over UDP\n", recv.Count(), units.ByteSize(recv.Bytes()))
+}

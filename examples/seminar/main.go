@@ -1,0 +1,145 @@
+// Seminar: the paper's composite-content application (§2.1). A
+// recorded talk is one Seminar item — an RTP video stream plus a VAT
+// audio stream — recorded through one stream group, indexed by topic,
+// and played back under a single set of VCR commands that keep both
+// media synchronized. "Users can examine the index and skip to the
+// portion of the seminar that interests them."
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"calliope"
+	"calliope/internal/protocol"
+)
+
+// indexEntry is one row of the seminar's topic index.
+type indexEntry struct {
+	topic string
+	at    time.Duration
+}
+
+func main() {
+	cluster, err := calliope.StartCluster(calliope.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// ---- The presenter records the seminar. -------------------------
+	presenter, err := calliope.Dial(cluster.Addr(), "presenter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer presenter.Close()
+
+	// Component display ports, then the composite Seminar port.
+	vSink, _ := calliope.NewReceiver("")
+	defer vSink.Close()
+	aSink, _ := calliope.NewReceiver("")
+	defer aSink.Close()
+	must(presenter.RegisterPort("camera", "rtp-video", vSink.Addr(), ""))
+	must(presenter.RegisterPort("microphone", "vat-audio", aSink.Addr(), ""))
+	must(presenter.RegisterCompositePort("podium", "seminar", map[string]string{
+		"rtp-video": "camera", "vat-audio": "microphone",
+	}))
+
+	rec, err := presenter.Record("osdi-keynote", "seminar", "podium", time.Minute, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vAddr, _ := rec.Sink("rtp-video")
+	aAddr, _ := rec.Sink("vat-audio")
+	fmt.Printf("recording seminar: video → %s, audio → %s\n", vAddr, aAddr)
+
+	// Three seconds of talk at 30 fps video (90 kHz RTP clock) and
+	// 50 packets/s audio (8 kHz VAT clock). The MSU derives delivery
+	// schedules from the media timestamps, so we can send faster than
+	// real time.
+	vConn, _ := net.Dial("udp", vAddr)
+	defer vConn.Close()
+	aConn, _ := net.Dial("udp", aAddr)
+	defer aConn.Close()
+	const seconds = 3
+	for i := 0; i < seconds*30; i++ {
+		pkt := protocol.EncodeRTP(protocol.RTPHeader{
+			Seq: uint16(i), Timestamp: uint32(i * 3000), SSRC: 42,
+		}, []byte(fmt.Sprintf("video-frame-%03d", i)))
+		if _, err := vConn.Write(pkt); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	for i := 0; i < seconds*50; i++ {
+		pkt := protocol.EncodeVAT(protocol.VATHeader{
+			Timestamp: uint32(i * 160),
+		}, []byte(fmt.Sprintf("audio-%03d", i)))
+		if _, err := aConn.Write(pkt); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(300 * time.Microsecond)
+	}
+	time.Sleep(300 * time.Millisecond)
+	must(rec.Stop())
+	if _, err := presenter.WaitForContent("osdi-keynote", 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recording committed")
+
+	// The index a human (or tooling) would build alongside.
+	index := []indexEntry{
+		{"introduction", 0},
+		{"the interesting part", 1 * time.Second},
+		{"questions", 2 * time.Second},
+	}
+
+	// ---- A student replays the interesting part. --------------------
+	student, err := calliope.Dial(cluster.Addr(), "student")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer student.Close()
+	video, _ := calliope.NewReceiver("")
+	defer video.Close()
+	audio, _ := calliope.NewReceiver("")
+	defer audio.Close()
+	must(student.RegisterPort("screen", "rtp-video", video.Addr(), ""))
+	must(student.RegisterPort("speaker", "vat-audio", audio.Addr(), ""))
+	must(student.RegisterCompositePort("desk", "seminar", map[string]string{
+		"rtp-video": "screen", "vat-audio": "speaker",
+	}))
+
+	stream, err := student.Play("osdi-keynote", "desk", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seminar open: group of %d streams, length %v\n",
+		len(stream.Info().Streams), stream.Length().Round(time.Millisecond))
+
+	fmt.Println("index:")
+	for i, e := range index {
+		fmt.Printf("  [%d] %-24s %v\n", i, e.topic, e.at)
+	}
+	skip := index[1]
+	fmt.Printf("skipping to %q at %v — one seek moves video AND audio\n", skip.topic, skip.at)
+	if _, err := stream.Seek(skip.at); err != nil {
+		log.Fatal(err)
+	}
+	select {
+	case <-stream.EOF():
+	case <-time.After(15 * time.Second):
+		log.Fatal("stalled")
+	}
+	must(stream.Quit())
+	fmt.Printf("watched to the end: %d video packets, %d audio packets (both paced from media timestamps)\n",
+		video.Count(), audio.Count())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

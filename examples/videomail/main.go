@@ -1,0 +1,126 @@
+// Video mail: another of the paper's motivating applications. Alice
+// records a short video message for Bob; she grossly overestimates how
+// long she will ramble, Calliope reserves space from the estimate and
+// returns the unused portion at commit (§2.2); Bob later lists his
+// mailbox, plays the message, and deletes it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"calliope"
+	"calliope/internal/media"
+	"calliope/internal/units"
+)
+
+func main() {
+	// A deliberately small disk makes the reservation arithmetic
+	// visible: ~250 blocks of 64 KB.
+	cluster, err := calliope.StartCluster(calliope.ClusterConfig{
+		DiskSize:  17 * units.MB,
+		BlockSize: 64 * 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	vol := cluster.Volume(0, 0)
+
+	// ---- Alice records. ----------------------------------------------
+	alice, err := calliope.Dial(cluster.Addr(), "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	camSink, _ := calliope.NewReceiver("")
+	defer camSink.Close()
+	must(alice.RegisterPort("camera", "mpeg1", camSink.Addr(), ""))
+
+	freeBefore := vol.FreeBlocks()
+	// She estimates a one-minute message (≈ 172 blocks)...
+	rec, err := alice.Record("mail-for-bob", "mpeg1", "camera", time.Minute, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate 1m → Calliope reserved %v (disk had %d free blocks)\n",
+		rec.Info().Reserved, freeBefore)
+
+	// ...but records only two seconds.
+	msg, err := media.GenerateCBR(media.CBRConfig{
+		Rate: 1500 * units.Kbps, PacketSize: 4096, FPS: 30, GOP: 15,
+		Duration: 2 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, _ := rec.Sink("mpeg1")
+	conn, _ := net.Dial("udp", data)
+	defer conn.Close()
+	start := time.Now()
+	for _, p := range msg {
+		if d := time.Until(start.Add(p.Time / 4)); d > 0 { // 4x real time
+			time.Sleep(d)
+		}
+		if _, err := conn.Write(p.Payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	must(rec.Stop())
+
+	// Wait for commit, then show the reclamation.
+	waitFor(alice, "mail-for-bob")
+	freeAfter := vol.FreeBlocks()
+	fmt.Printf("committed: disk now has %d free blocks — the overestimate came back (used %d blocks, not %d)\n",
+		freeAfter, freeBefore-freeAfter, 172)
+
+	// ---- Bob reads his mail. ------------------------------------------
+	bob, err := calliope.Dial(cluster.Addr(), "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+	items, err := bob.ListContent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob's view of the server:")
+	for _, it := range items {
+		fmt.Printf("  %-16s %-8s %v, %v\n", it.Name, it.Type, it.Length.Round(time.Millisecond), it.Size)
+	}
+
+	tv, _ := calliope.NewReceiver("")
+	defer tv.Close()
+	must(bob.RegisterPort("tv", "mpeg1", tv.Addr(), ""))
+	stream, err := bob.Play("mail-for-bob", "tv", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob is watching...")
+	select {
+	case <-stream.EOF():
+	case <-time.After(15 * time.Second):
+		log.Fatal("stalled")
+	}
+	must(stream.Quit())
+	fmt.Printf("message played back: %d packets, %s\n", tv.Count(), units.ByteSize(tv.Bytes()))
+
+	must(bob.WaitStreamsIdle(5 * time.Second))
+	must(bob.DeleteContent("mail-for-bob"))
+	fmt.Printf("deleted; disk back to %d free blocks\n", vol.FreeBlocks())
+}
+
+func waitFor(c *calliope.Client, name string) {
+	if _, err := c.WaitForContent(name, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

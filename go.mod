@@ -1,0 +1,3 @@
+module calliope
+
+go 1.22

@@ -1,0 +1,384 @@
+// Package client is Calliope's client library (§2.1).
+//
+// A client establishes a session with the Coordinator over TCP, browses
+// the table of contents, registers display ports (named UDP
+// destinations typed by content type; composite ports are built from
+// previously-registered component ports), then plays or records
+// content. For each play/record the serving MSU opens a TCP control
+// connection back to the client, on which the client issues VCR
+// commands: pause, play, seek, fast-forward, fast-backward, quit.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/wire"
+)
+
+// Client is one session with a Calliope Coordinator.
+type Client struct {
+	peer    *wire.Peer
+	session core.SessionID
+
+	vcrLn net.Listener
+
+	mu       sync.Mutex
+	vcrByGrp map[uint64]*vcrState
+	vcrWait  map[uint64][]chan *vcrState
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// vcrState is one accepted MSU control connection.
+type vcrState struct {
+	peer  *wire.Peer
+	hello wire.VCRHello
+	eof   chan wire.StreamEOF
+	down  chan struct{}
+}
+
+// Dial connects to the Coordinator and opens a session for user.
+func Dial(coordinator, user string) (*Client, error) {
+	conn, err := net.Dial("tcp", coordinator)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing coordinator: %w", err)
+	}
+	c := &Client{
+		vcrByGrp: make(map[uint64]*vcrState),
+		vcrWait:  make(map[uint64][]chan *vcrState),
+	}
+	c.peer = wire.NewPeer(conn, nil, nil)
+	var welcome wire.Welcome
+	if err := c.peer.Call(wire.TypeHello, wire.Hello{User: user}, &welcome); err != nil {
+		c.peer.Close()
+		return nil, err
+	}
+	c.session = welcome.Session
+
+	host, _, _ := net.SplitHostPort(conn.LocalAddr().String())
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		c.peer.Close()
+		return nil, fmt.Errorf("client: opening control listener: %w", err)
+	}
+	c.vcrLn = ln
+	c.wg.Add(1)
+	go c.acceptVCR()
+	return c, nil
+}
+
+// Session reports the session identifier the Coordinator assigned.
+func (c *Client) Session() core.SessionID { return c.session }
+
+// ControlAddr is where MSUs dial this client's VCR connections.
+func (c *Client) ControlAddr() string { return c.vcrLn.Addr().String() }
+
+// Close ends the session; the Coordinator deallocates its ports.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var vcrs []*vcrState
+	for _, v := range c.vcrByGrp {
+		vcrs = append(vcrs, v)
+	}
+	c.mu.Unlock()
+	c.vcrLn.Close()
+	for _, v := range vcrs {
+		v.peer.Close()
+	}
+	err := c.peer.Close()
+	c.wg.Wait()
+	return err
+}
+
+// acceptVCR takes control connections from MSUs and routes them by
+// stream group once the MSU's vcr-hello arrives.
+func (c *Client) acceptVCR() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.vcrLn.Accept()
+		if err != nil {
+			return
+		}
+		st := &vcrState{
+			eof:  make(chan wire.StreamEOF, 4),
+			down: make(chan struct{}),
+		}
+		st.peer = wire.NewPeerStopped(conn, func(msgType string, body json.RawMessage) (any, error) {
+			switch msgType {
+			case wire.TypeVCRHello:
+				var hello wire.VCRHello
+				if err := json.Unmarshal(body, &hello); err != nil {
+					return nil, err
+				}
+				st.hello = hello
+				c.registerVCR(hello.Group, st)
+				return nil, nil
+			case wire.TypeStreamEOF:
+				var eof wire.StreamEOF
+				if err := json.Unmarshal(body, &eof); err != nil {
+					return nil, err
+				}
+				select {
+				case st.eof <- eof:
+				default:
+				}
+				return nil, nil
+			default:
+				return nil, fmt.Errorf("client: unexpected %q on control connection", msgType)
+			}
+		}, func(error) { close(st.down) })
+		st.peer.Start()
+	}
+}
+
+func (c *Client) registerVCR(group uint64, st *vcrState) {
+	c.mu.Lock()
+	c.vcrByGrp[group] = st
+	waiters := c.vcrWait[group]
+	delete(c.vcrWait, group)
+	c.mu.Unlock()
+	for _, w := range waiters {
+		w <- st
+	}
+}
+
+// waitVCR blocks until the MSU's control connection for group arrives.
+func (c *Client) waitVCR(group uint64, timeout time.Duration) (*vcrState, error) {
+	c.mu.Lock()
+	if st, ok := c.vcrByGrp[group]; ok {
+		c.mu.Unlock()
+		return st, nil
+	}
+	ch := make(chan *vcrState, 1)
+	c.vcrWait[group] = append(c.vcrWait[group], ch)
+	c.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case st := <-ch:
+		return st, nil
+	case <-t.C:
+		return nil, fmt.Errorf("client: no control connection for group %d after %v", group, timeout)
+	}
+}
+
+// ListContent fetches the table of contents.
+func (c *Client) ListContent() ([]core.ContentInfo, error) {
+	var resp wire.ContentList
+	if err := c.peer.Call(wire.TypeListContent, struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// ListTypes fetches the content-type table.
+func (c *Client) ListTypes() ([]core.ContentType, error) {
+	var resp wire.TypeList
+	if err := c.peer.Call(wire.TypeListTypes, struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Types, nil
+}
+
+// Status fetches Coordinator load counters.
+func (c *Client) Status() (wire.Status, error) {
+	var resp wire.Status
+	err := c.peer.Call(wire.TypeStatus, struct{}{}, &resp)
+	return resp, err
+}
+
+// AddType installs a content type (administrative).
+func (c *Client) AddType(t core.ContentType) error {
+	return c.peer.Call(wire.TypeAddType, wire.AddType{Type: t}, nil)
+}
+
+// DeleteContent removes a content item (administrative).
+func (c *Client) DeleteContent(name string) error {
+	return c.peer.Call(wire.TypeDeleteContent, wire.DeleteContent{Content: name}, nil)
+}
+
+// RegisterPort declares an atomic display port: a typed UDP data
+// destination (and optional protocol-control destination).
+func (c *Client) RegisterPort(name, contentType, dataAddr, ctrlAddr string) error {
+	return c.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{
+		Name: name, Type: contentType, Addr: dataAddr, Control: ctrlAddr,
+	}, nil)
+}
+
+// RegisterCompositePort declares a composite display port built from
+// previously-registered component ports: components maps component
+// type name to component port name.
+func (c *Client) RegisterCompositePort(name, contentType string, components map[string]string) error {
+	return c.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{
+		Name: name, Type: contentType, Components: components,
+	}, nil)
+}
+
+// UnregisterPort drops a display port.
+func (c *Client) UnregisterPort(name string) error {
+	return c.peer.Call(wire.TypeUnregisterPort, wire.UnregisterPort{Name: name}, nil)
+}
+
+// WaitForContent polls the table of contents until name appears —
+// recordings commit asynchronously after Stop, so a client that wants
+// to play what it just recorded waits here first.
+func (c *Client) WaitForContent(name string, timeout time.Duration) (core.ContentInfo, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		items, err := c.ListContent()
+		if err != nil {
+			return core.ContentInfo{}, err
+		}
+		for _, it := range items {
+			if it.Name == name {
+				return it, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return core.ContentInfo{}, fmt.Errorf("%w: %q not committed after %v", core.ErrNoSuchContent, name, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// WaitStreamsIdle polls until the Coordinator reports no active
+// streams — stream teardown after Quit is asynchronous.
+func (c *Client) WaitStreamsIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		if st.ActiveStreams == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("calliope: %d streams still active after %v", st.ActiveStreams, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Stream is a playback handle with VCR controls.
+type Stream struct {
+	c    *Client
+	info wire.PlayOK
+	vcr  *vcrState
+}
+
+// Play asks Calliope to deliver content to the named display port. If
+// wait is set the request queues while resources are busy.
+func (c *Client) Play(content, port string, wait bool) (*Stream, error) {
+	var resp wire.PlayOK
+	err := c.peer.Call(wire.TypePlay, wire.Play{
+		Content: content, Port: port, ControlAddr: c.ControlAddr(), Wait: wait,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	vcr, err := c.waitVCR(resp.Group, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{c: c, info: resp, vcr: vcr}, nil
+}
+
+// Info reports the scheduling result.
+func (s *Stream) Info() wire.PlayOK { return s.info }
+
+// Length reports the content length.
+func (s *Stream) Length() time.Duration { return s.info.Length }
+
+// EOF delivers a notification when playback reaches end of content.
+func (s *Stream) EOF() <-chan wire.StreamEOF { return s.vcr.eof }
+
+// Down is closed if the MSU's control connection is lost.
+func (s *Stream) Down() <-chan struct{} { return s.vcr.down }
+
+func (s *Stream) command(op string, pos time.Duration) (wire.VCRAck, error) {
+	var ack wire.VCRAck
+	err := s.vcr.peer.Call(wire.TypeVCR, wire.VCR{Op: op, Pos: pos}, &ack)
+	return ack, err
+}
+
+// Pause halts delivery, keeping position.
+func (s *Stream) Pause() (wire.VCRAck, error) { return s.command("pause", 0) }
+
+// Resume restarts normal-rate delivery.
+func (s *Stream) Resume() (wire.VCRAck, error) { return s.command("play", 0) }
+
+// Seek repositions playback to pos (an offset from the start).
+func (s *Stream) Seek(pos time.Duration) (wire.VCRAck, error) { return s.command("seek", pos) }
+
+// FastForward switches to the fast-forward companion file.
+func (s *Stream) FastForward() (wire.VCRAck, error) { return s.command("fast-forward", 0) }
+
+// FastBackward switches to the fast-backward companion file.
+func (s *Stream) FastBackward() (wire.VCRAck, error) { return s.command("fast-backward", 0) }
+
+// Quit terminates the stream group and frees its server resources.
+func (s *Stream) Quit() error {
+	_, err := s.command("quit", 0)
+	return err
+}
+
+// Recording is a record-session handle.
+type Recording struct {
+	c    *Client
+	info wire.RecordOK
+	vcr  *vcrState
+}
+
+// Record asks Calliope to record content of the given type arriving
+// from this client. The returned handle's Sinks say where to send the
+// media. estimate is the client's recording-length estimate, from
+// which the Coordinator reserves disk space.
+func (c *Client) Record(content, contentType, port string, estimate time.Duration, wait bool) (*Recording, error) {
+	var resp wire.RecordOK
+	err := c.peer.Call(wire.TypeRecord, wire.Record{
+		Content: content, Type: contentType, Port: port,
+		Estimate: estimate, ControlAddr: c.ControlAddr(), Wait: wait,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	vcr, err := c.waitVCR(resp.Group, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Recording{c: c, info: resp, vcr: vcr}, nil
+}
+
+// Info reports the scheduling result.
+func (r *Recording) Info() wire.RecordOK { return r.info }
+
+// Sinks lists where to send each component's media.
+func (r *Recording) Sinks() []wire.RecordStream { return r.info.Streams }
+
+// Sink returns the data address for a component type ("" if absent).
+func (r *Recording) Sink(contentType string) (data, ctrl string) {
+	for _, s := range r.info.Streams {
+		if s.Type == contentType {
+			return s.DataAddr, s.CtrlAddr
+		}
+	}
+	return "", ""
+}
+
+// Stop ends the recording; the MSU commits it and reclaims any
+// over-estimated space.
+func (r *Recording) Stop() error {
+	var ack wire.VCRAck
+	return r.vcr.peer.Call(wire.TypeVCR, wire.VCR{Op: "quit"}, &ack)
+}

@@ -1,0 +1,107 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterBufferSmoothsJitter(t *testing.T) {
+	// 1 s of smoothing absorbs ±150 ms of delivery jitter (the paper's
+	// worst-case MSU contribution) with zero underruns.
+	b, err := NewJitterBuffer(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		offset := time.Duration(i) * 20 * time.Millisecond
+		jitter := time.Duration((i%7)-3) * 50 * time.Millisecond // ±150ms
+		arrival := base.Add(offset + jitter)
+		if arrival.Before(base) {
+			arrival = base
+		}
+		b.Admit(offset, arrival, 1000)
+		// The device presents continuously while packets arrive.
+		b.Drain(arrival)
+	}
+	b.Drain(base.Add(time.Hour))
+	if b.Underruns() != 0 {
+		t.Fatalf("underruns = %d with 1s buffer vs 150ms jitter", b.Underruns())
+	}
+	if b.Presented() != 100 {
+		t.Fatalf("presented = %d", b.Presented())
+	}
+	// Depth never exceeds ~1.15 s of stream (1s delay + 150 ms early
+	// arrivals) — at 50 KB/s that is well under the paper's 200 KB.
+	if hwm := b.HighWaterMark(); hwm > 60*1000 {
+		t.Fatalf("high-water mark %d bytes", hwm)
+	}
+}
+
+func TestJitterBufferUnderrunsWhenTooShallow(t *testing.T) {
+	// A 10 ms buffer cannot absorb 100 ms of jitter.
+	b, err := NewJitterBuffer(10 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	under := 0
+	for i := 0; i < 50; i++ {
+		offset := time.Duration(i) * 20 * time.Millisecond
+		jitter := time.Duration(0)
+		// The first packet anchors the presentation epoch, so keep it
+		// clean and jitter later ones.
+		if i > 0 && i%5 == 0 {
+			jitter = 100 * time.Millisecond
+			under++
+		}
+		b.Admit(offset, base.Add(offset+jitter), 1000)
+	}
+	if i := b.Underruns(); i != under {
+		t.Fatalf("underruns = %d, want %d", i, under)
+	}
+}
+
+func TestJitterBufferDrainOrder(t *testing.T) {
+	b, _ := NewJitterBuffer(100 * time.Millisecond)
+	base := time.Unix(100, 0)
+	// Admit out of schedule order (reordered arrivals, all early).
+	b.Admit(40*time.Millisecond, base, 4)
+	b.Admit(0, base, 1)
+	b.Admit(20*time.Millisecond, base, 2)
+	// Nothing due yet.
+	if got := b.Drain(base.Add(50 * time.Millisecond)); got != 0 {
+		t.Fatalf("early drain released %d", got)
+	}
+	// First two due at +100ms and +120ms.
+	if got := b.Drain(base.Add(125 * time.Millisecond)); got != 3 {
+		t.Fatalf("drain released %d bytes, want 3", got)
+	}
+	if got := b.Drain(base.Add(time.Second)); got != 4 {
+		t.Fatalf("final drain released %d bytes, want 4", got)
+	}
+	if b.Presented() != 3 {
+		t.Fatalf("presented = %d", b.Presented())
+	}
+}
+
+func TestJitterBufferValidation(t *testing.T) {
+	if _, err := NewJitterBuffer(0); err == nil {
+		t.Fatal("zero delay accepted")
+	}
+}
+
+// TestPaperBufferArithmetic pins the paper's sizing claim: a 200 KB
+// buffer holds over one second of 1.5 Mbit/s video, and the MSU's
+// worst-case 150 ms of added jitter plus an 850 ms network allowance
+// fits inside it.
+func TestPaperBufferArithmetic(t *testing.T) {
+	const rate = 1_500_000.0 / 8 // bytes/sec
+	secondsHeld := 200_000 / rate
+	if secondsHeld <= 1.0 {
+		t.Fatalf("200KB holds only %.2fs", secondsHeld)
+	}
+	if 150+850 > int(secondsHeld*1000) {
+		t.Fatal("jitter budget exceeds the buffer")
+	}
+}

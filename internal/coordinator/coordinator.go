@@ -1,0 +1,573 @@
+// Package coordinator implements Calliope's Coordinator: the global
+// resource manager (§2.2).
+//
+// The Coordinator keeps the administrative database (content types,
+// table of contents, MSUs and their disks), authenticates clients,
+// manages display ports and stream groups, and schedules play/record
+// requests onto MSUs by disk bandwidth and disk space. Requests that
+// cannot be satisfied may queue until resources free up. MSU failures
+// are detected by broken TCP connections; a returning MSU re-registers
+// and is restored to the scheduling database. The Coordinator itself
+// is not fault tolerant — the paper's Calliope "does not recover from
+// Coordinator failures", and neither does ours.
+//
+// One TCP listener serves both clients and MSUs; the first message on
+// a connection (hello vs msu-hello) decides the role.
+package coordinator
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/schedule"
+	"calliope/internal/units"
+	"calliope/internal/wire"
+)
+
+// Role is a customer's privilege level in the administrative database
+// (§2.1: "With appropriate permissions, the client can delete an item
+// of content or make other administrative changes").
+type Role int
+
+// Roles. Viewers play and record; admins additionally delete content
+// and install types.
+const (
+	RoleViewer Role = iota
+	RoleAdmin
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Types seeds the content-type table.
+	Types []core.ContentType
+	// Users is the customer database: user name → role. Empty means an
+	// open installation where every user is an admin (the tests' and
+	// examples' default).
+	Users map[string]Role
+	// QueueTimeout bounds how long a Wait-ing play request may queue.
+	QueueTimeout time.Duration
+	// Logger receives operational messages; nil disables logging.
+	Logger *log.Logger
+}
+
+// Coordinator is the server. Create with New, start with Start.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	types    map[string]core.ContentType
+	contents map[string]*contentRec
+	msus     map[core.MSUID]*msuState
+	sessions map[core.SessionID]*session
+	active   map[core.StreamID]*activeStream
+	// pending tracks composite recordings by group until every
+	// component commits, at which point the parent item is created.
+	pending map[uint64]*pendingComposite
+
+	nextSession core.SessionID
+	nextStream  core.StreamID
+	nextGroup   uint64
+	nextPort    core.PortID
+	requests    int64
+
+	// release is closed and replaced whenever resources free up, so
+	// queued requests can retry.
+	release chan struct{}
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type contentRec struct {
+	info     core.ContentInfo
+	children []string // component content names for composite items
+}
+
+type pendingComposite struct {
+	parent  string
+	typ     string
+	waiting map[string]bool // component content names not yet committed
+	done    []string
+	length  time.Duration
+	size    int64
+	disk    core.DiskID
+}
+
+type msuState struct {
+	id    core.MSUID
+	peer  *wire.Peer
+	alive bool
+	disks []*diskState
+}
+
+type diskState struct {
+	blockSize int
+	bw        *schedule.Ledger // bit/s
+	space     *schedule.Ledger // blocks
+}
+
+type session struct {
+	id    core.SessionID
+	user  string
+	role  Role
+	peer  *wire.Peer
+	ports map[string]*core.DisplayPort
+}
+
+type activeStream struct {
+	id      core.StreamID
+	group   uint64
+	msu     core.MSUID
+	disk    int
+	session core.SessionID
+	content string
+	typ     string
+	record  bool
+	// spaceReserved is the block reservation held for a recording.
+	spaceReserved int64
+}
+
+// New builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = 30 * time.Second
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		types:    make(map[string]core.ContentType),
+		contents: make(map[string]*contentRec),
+		msus:     make(map[core.MSUID]*msuState),
+		sessions: make(map[core.SessionID]*session),
+		active:   make(map[core.StreamID]*activeStream),
+		pending:  make(map[uint64]*pendingComposite),
+		release:  make(chan struct{}),
+	}
+	for _, t := range cfg.Types {
+		t := t
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		c.types[t.Name] = t
+	}
+	return c, nil
+}
+
+// Start begins listening and serving.
+func (c *Coordinator) Start() error {
+	ln, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("coordinator: listen %s: %w", c.cfg.Addr, err)
+	}
+	c.ln = ln
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return nil
+}
+
+// Addr reports the listen address (useful with ":0").
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return c.cfg.Addr
+	}
+	return c.ln.Addr().String()
+}
+
+// Close shuts the Coordinator down.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	ln := c.ln
+	var peers []*wire.Peer
+	for _, m := range c.msus {
+		if m.peer != nil {
+			peers = append(peers, m.peer)
+		}
+	}
+	for _, s := range c.sessions {
+		if s.peer != nil {
+			peers = append(peers, s.peer)
+		}
+	}
+	c.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// signalRelease wakes queued requests. Callers hold c.mu.
+func (c *Coordinator) signalRelease() {
+	close(c.release)
+	c.release = make(chan struct{})
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		newConnCtx(c, conn)
+	}
+}
+
+// connCtx is the per-connection dispatcher. A connection starts
+// roleless; the first message binds it to a client session or an MSU.
+type connCtx struct {
+	c    *Coordinator
+	peer *wire.Peer
+
+	mu      sync.Mutex
+	session *session
+	msu     *msuState
+}
+
+func newConnCtx(c *Coordinator, conn net.Conn) *connCtx {
+	ctx := &connCtx{c: c}
+	ctx.peer = wire.NewPeerStopped(conn, ctx.handle, ctx.down)
+	ctx.peer.Start()
+	return ctx
+}
+
+func (ctx *connCtx) down(error) {
+	ctx.mu.Lock()
+	s, m := ctx.session, ctx.msu
+	ctx.mu.Unlock()
+	if s != nil {
+		ctx.c.dropSession(s)
+	}
+	if m != nil {
+		ctx.c.msuDown(m)
+	}
+}
+
+// handle dispatches one inbound message.
+func (ctx *connCtx) handle(msgType string, body json.RawMessage) (any, error) {
+	c := ctx.c
+	c.mu.Lock()
+	c.requests++
+	c.mu.Unlock()
+
+	decode := func(v any) error {
+		if len(body) == 0 {
+			return nil
+		}
+		if err := json.Unmarshal(body, v); err != nil {
+			return fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+		}
+		return nil
+	}
+
+	switch msgType {
+	case wire.TypeHello:
+		var req wire.Hello
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return ctx.hello(req)
+	case wire.TypeMSUHello:
+		var req wire.MSUHello
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return ctx.msuHello(req)
+	case wire.TypeListContent:
+		return c.listContent(), nil
+	case wire.TypeListTypes:
+		return c.listTypes(), nil
+	case wire.TypeStatus:
+		return c.status(), nil
+	case wire.TypeRegisterPort:
+		var req wire.RegisterPort
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return ctx.registerPort(req)
+	case wire.TypeUnregisterPort:
+		var req wire.UnregisterPort
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return nil, ctx.unregisterPort(req)
+	case wire.TypePlay:
+		var req wire.Play
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return ctx.play(req)
+	case wire.TypeRecord:
+		var req wire.Record
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return ctx.record(req)
+	case wire.TypeAddType:
+		var req wire.AddType
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		if err := ctx.requireAdmin(); err != nil {
+			return nil, err
+		}
+		return nil, c.addType(req.Type)
+	case wire.TypeDeleteContent:
+		var req wire.DeleteContent
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		if err := ctx.requireAdmin(); err != nil {
+			return nil, err
+		}
+		return nil, c.deleteContent(req.Content)
+	case wire.TypeStreamEnded:
+		var req wire.StreamEnded
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		c.streamEnded(req)
+		return nil, nil
+	case wire.TypeRecordingDone:
+		var req wire.RecordingDone
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return nil, ctx.recordingDone(req)
+	default:
+		return nil, fmt.Errorf("%w: unknown message %q", core.ErrBadRequest, msgType)
+	}
+}
+
+// hello opens a client session, authenticating the user against the
+// customer database.
+func (ctx *connCtx) hello(req wire.Hello) (*wire.Welcome, error) {
+	c := ctx.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, core.ErrSessionClosed
+	}
+	role := RoleAdmin // open installation
+	if len(c.cfg.Users) > 0 {
+		var known bool
+		role, known = c.cfg.Users[req.User]
+		if !known {
+			return nil, fmt.Errorf("%w: unknown user %q", core.ErrPermission, req.User)
+		}
+	}
+	c.nextSession++
+	s := &session{
+		id:    c.nextSession,
+		user:  req.User,
+		role:  role,
+		peer:  ctx.peer,
+		ports: make(map[string]*core.DisplayPort),
+	}
+	c.sessions[s.id] = s
+	ctx.mu.Lock()
+	ctx.session = s
+	ctx.mu.Unlock()
+	c.logf("session %d opened for %q", s.id, req.User)
+	return &wire.Welcome{Session: s.id}, nil
+}
+
+// dropSession deallocates a session's ports when its connection dies
+// (§2.1: "When this session is dropped, the Coordinator deallocates
+// its local representation of the ports").
+func (c *Coordinator) dropSession(s *session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, s.id)
+	c.logf("session %d dropped (%d ports deallocated)", s.id, len(s.ports))
+}
+
+// requireSession fetches this connection's session.
+func (ctx *connCtx) requireSession() (*session, error) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.session == nil {
+		return nil, fmt.Errorf("%w: say hello first", core.ErrNoSuchSession)
+	}
+	return ctx.session, nil
+}
+
+// requireAdmin checks the session holds administrative privileges.
+func (ctx *connCtx) requireAdmin() error {
+	s, err := ctx.requireSession()
+	if err != nil {
+		return err
+	}
+	if s.role != RoleAdmin {
+		return fmt.Errorf("%w: user %q is not an administrator", core.ErrPermission, s.user)
+	}
+	return nil
+}
+
+func (c *Coordinator) listContent() *wire.ContentList {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &wire.ContentList{}
+	for _, rec := range c.contents {
+		out.Items = append(out.Items, rec.info)
+	}
+	sortContent(out.Items)
+	return out
+}
+
+func (c *Coordinator) listTypes() *wire.TypeList {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &wire.TypeList{}
+	for _, t := range c.types {
+		out.Types = append(out.Types, t)
+	}
+	sortTypes(out.Types)
+	return out
+}
+
+func (c *Coordinator) status() *wire.Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &wire.Status{
+		MSUs:          len(c.msus),
+		ActiveStreams: len(c.active),
+		Contents:      len(c.contents),
+		Sessions:      len(c.sessions),
+		Requests:      c.requests,
+	}
+	for _, m := range c.msus {
+		if m.alive {
+			st.MSUsAvailable++
+		}
+		for i, d := range m.disks {
+			st.Disks = append(st.Disks, wire.DiskUsage{
+				Disk:          core.DiskID{MSU: m.id, N: i},
+				Alive:         m.alive,
+				BandwidthUsed: units.BitRate(d.bw.Reserved()),
+				BandwidthCap:  units.BitRate(d.bw.Capacity()),
+				SpaceUsed:     units.ByteSize((d.space.Reserved() + d.space.Standing()) * int64(d.blockSize)),
+				SpaceCap:      units.ByteSize(d.space.Capacity() * int64(d.blockSize)),
+			})
+		}
+	}
+	sort.Slice(st.Disks, func(i, j int) bool {
+		if st.Disks[i].Disk.MSU != st.Disks[j].Disk.MSU {
+			return st.Disks[i].Disk.MSU < st.Disks[j].Disk.MSU
+		}
+		return st.Disks[i].Disk.N < st.Disks[j].Disk.N
+	})
+	return st
+}
+
+// addType installs a content type (administrative).
+func (c *Coordinator) addType(t core.ContentType) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.types[t.Name]; ok {
+		return fmt.Errorf("%w: type %q", core.ErrDuplicateName, t.Name)
+	}
+	for _, comp := range t.Components {
+		if _, ok := c.types[comp]; !ok {
+			return fmt.Errorf("%w: component type %q", core.ErrNoSuchType, comp)
+		}
+	}
+	c.types[t.Name] = t
+	return nil
+}
+
+// deleteContent removes an item that is not being played or recorded.
+func (c *Coordinator) deleteContent(name string) error {
+	c.mu.Lock()
+	rec, ok := c.contents[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", core.ErrNoSuchContent, name)
+	}
+	for _, a := range c.active {
+		if a.content == name {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %q", core.ErrContentInUse, name)
+		}
+	}
+	names := append([]string{name}, rec.children...)
+	type target struct {
+		peer *wire.Peer
+		name string
+		rec  *contentRec
+	}
+	var targets []target
+	for _, n := range names {
+		r, ok := c.contents[n]
+		if !ok {
+			continue
+		}
+		m := c.msus[r.info.Disk.MSU]
+		if m == nil || !m.alive {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: holding %q", core.ErrMSUUnavailable, n)
+		}
+		targets = append(targets, target{peer: m.peer, name: n, rec: r})
+	}
+	c.mu.Unlock()
+
+	for _, t := range targets {
+		if err := t.peer.CallTimeout(wire.TypeDeleteContent, wire.DeleteContent{Content: t.name}, nil, msuRPCTimeout); err != nil {
+			return fmt.Errorf("coordinator: deleting %q on MSU: %w", t.name, err)
+		}
+	}
+	c.mu.Lock()
+	for _, t := range targets {
+		// Return the item's disk space to the free pool.
+		d := c.diskState(t.rec.info.Disk)
+		if d != nil {
+			blocks := (int64(t.rec.info.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
+			adjustCapacityLocked(d.space, blocks)
+		}
+		delete(c.contents, t.name)
+	}
+	c.signalRelease()
+	c.mu.Unlock()
+	return nil
+}
+
+// diskState resolves a DiskID. Callers hold c.mu.
+func (c *Coordinator) diskState(id core.DiskID) *diskState {
+	m := c.msus[id.MSU]
+	if m == nil || id.N < 0 || id.N >= len(m.disks) {
+		return nil
+	}
+	return m.disks[id.N]
+}
+
+// adjustCapacityLocked returns delta blocks of stored-content space to
+// the free pool by shrinking the disk's standing reservation (stored
+// content is modelled as a keyless baseline reservation; see msuHello).
+func adjustCapacityLocked(l *schedule.Ledger, delta int64) {
+	l.AddStanding(-delta) //nolint:errcheck // clamped at zero
+}

@@ -1,0 +1,737 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/schedule"
+	"calliope/internal/units"
+	"calliope/internal/wire"
+)
+
+// msuRPCTimeout bounds Coordinator→MSU control calls so a wedged MSU
+// cannot hang a client request; the failure path then treats the MSU
+// like any other unresponsive one.
+const msuRPCTimeout = 15 * time.Second
+
+func sortContent(items []core.ContentInfo) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+}
+
+func sortTypes(types []core.ContentType) {
+	sort.Slice(types, func(i, j int) bool { return types[i].Name < types[j].Name })
+}
+
+// msuHello (re)registers an MSU: rebuild its disk ledgers and merge its
+// content declarations into the table of contents.
+func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
+	if req.ID == "" {
+		return nil, fmt.Errorf("%w: MSU has no id", core.ErrBadRequest)
+	}
+	c := ctx.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	m := c.msus[req.ID]
+	if m != nil && m.alive {
+		return nil, fmt.Errorf("%w: MSU %q already registered", core.ErrDuplicateName, req.ID)
+	}
+	m = &msuState{id: req.ID, peer: ctx.peer, alive: true}
+	for i, di := range req.Disks {
+		if di.BlockSize <= 0 || di.TotalBlocks <= 0 {
+			return nil, fmt.Errorf("%w: disk %d geometry", core.ErrBadRequest, i)
+		}
+		bwCap := int64(di.Bandwidth)
+		if bwCap <= 0 {
+			bwCap = int64(24 * units.Mbps) // conservative default budget
+		}
+		bw, err := schedule.NewLedger(bwCap)
+		if err != nil {
+			return nil, err
+		}
+		space, err := schedule.NewLedger(di.TotalBlocks)
+		if err != nil {
+			return nil, err
+		}
+		// Stored content occupies the difference between total and
+		// free blocks as a standing reservation.
+		if err := space.SetStanding(di.TotalBlocks - di.FreeBlocks); err != nil {
+			return nil, fmt.Errorf("%w: disk %d free/total mismatch", core.ErrBadRequest, i)
+		}
+		m.disks = append(m.disks, &diskState{blockSize: di.BlockSize, bw: bw, space: space})
+		for _, decl := range di.Contents {
+			c.contents[decl.Name] = &contentRec{info: core.ContentInfo{
+				Name:    decl.Name,
+				Type:    decl.Type,
+				Length:  decl.Length,
+				Size:    decl.Size,
+				Disk:    core.DiskID{MSU: req.ID, N: i},
+				HasFast: decl.HasFast,
+			}}
+		}
+	}
+	// Re-link composite items whose children just reappeared.
+	for _, rec := range c.contents {
+		if t, ok := c.types[rec.info.Type]; ok && t.Composite() {
+			rec.children = rec.info.Children
+		}
+	}
+	c.msus[req.ID] = m
+	ctx.mu.Lock()
+	ctx.msu = m
+	ctx.mu.Unlock()
+	c.logf("MSU %q registered with %d disks", req.ID, len(m.disks))
+	c.signalRelease()
+	return &wire.MSUWelcome{}, nil
+}
+
+// msuDown marks a failed MSU unavailable and releases every
+// reservation held by its streams (§2.2 fault tolerance).
+func (c *Coordinator) msuDown(m *msuState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.msus[m.id]
+	if cur != m {
+		return // a newer registration replaced this one
+	}
+	m.alive = false
+	for id, a := range c.active {
+		if a.msu != m.id {
+			continue
+		}
+		c.releaseStreamLocked(a)
+		delete(c.active, id)
+	}
+	c.logf("MSU %q down", m.id)
+	c.signalRelease()
+}
+
+// releaseStreamLocked frees a stream's ledger entries. Callers hold
+// c.mu.
+func (c *Coordinator) releaseStreamLocked(a *activeStream) {
+	m := c.msus[a.msu]
+	if m == nil || a.disk < 0 || a.disk >= len(m.disks) {
+		return
+	}
+	d := m.disks[a.disk]
+	d.bw.Release(uint64(a.id)) //nolint:errcheck // released at most once
+	if a.record && a.spaceReserved > 0 {
+		d.space.Release(uint64(a.id)) //nolint:errcheck
+	}
+}
+
+// streamEnded handles the MSU's termination notice.
+func (c *Coordinator) streamEnded(req wire.StreamEnded) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.active[req.Stream]
+	if !ok {
+		return
+	}
+	c.releaseStreamLocked(a)
+	delete(c.active, req.Stream)
+	c.logf("stream %d ended (%s)", req.Stream, req.Cause)
+	c.signalRelease()
+}
+
+// recordingDone commits a recording: the content enters the table of
+// contents at its actual size, and the disk's standing space grows by
+// that amount while the estimate-based reservation is dropped (the
+// overestimate returns to the pool — §2.2).
+func (ctx *connCtx) recordingDone(req wire.RecordingDone) error {
+	c := ctx.c
+	ctx.mu.Lock()
+	m := ctx.msu
+	ctx.mu.Unlock()
+	if m == nil {
+		return fmt.Errorf("%w: not an MSU connection", core.ErrBadRequest)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.active[req.Stream]
+	if !ok || a.msu != m.id {
+		return fmt.Errorf("%w: stream %d", core.ErrNoSuchStream, req.Stream)
+	}
+	d := c.diskState(core.DiskID{MSU: m.id, N: req.Disk})
+	if d == nil {
+		return fmt.Errorf("%w: disk %d", core.ErrBadRequest, req.Disk)
+	}
+	if a.record && a.spaceReserved > 0 {
+		d.space.Release(uint64(a.id)) //nolint:errcheck
+		a.spaceReserved = 0
+	}
+	blocks := (int64(req.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
+	d.space.AddStanding(blocks) //nolint:errcheck
+	c.contents[req.Content] = &contentRec{info: core.ContentInfo{
+		Name:   req.Content,
+		Type:   req.Type,
+		Length: req.Length,
+		Size:   req.Size,
+		Disk:   core.DiskID{MSU: m.id, N: req.Disk},
+	}}
+	// Composite recording: once every component has committed, publish
+	// the parent item.
+	if pc, ok := c.pending[a.group]; ok && pc.waiting[req.Content] {
+		delete(pc.waiting, req.Content)
+		pc.done = append(pc.done, req.Content)
+		if req.Length > pc.length {
+			pc.length = req.Length
+		}
+		pc.size += int64(req.Size)
+		if pc.disk == (core.DiskID{}) {
+			pc.disk = core.DiskID{MSU: m.id, N: req.Disk}
+		}
+		if len(pc.waiting) == 0 {
+			delete(c.pending, a.group)
+			c.contents[pc.parent] = &contentRec{
+				info: core.ContentInfo{
+					Name:     pc.parent,
+					Type:     pc.typ,
+					Length:   pc.length,
+					Size:     units.ByteSize(pc.size),
+					Disk:     pc.disk,
+					Children: pc.done,
+				},
+				children: pc.done,
+			}
+			c.logf("composite %q assembled from %v", pc.parent, pc.done)
+		}
+	}
+	c.logf("recording %q committed: %v, %v", req.Content, req.Length, req.Size)
+	c.signalRelease()
+	return nil
+}
+
+// registerPort validates and stores a display port (§2.1).
+func (ctx *connCtx) registerPort(req wire.RegisterPort) (*wire.PortOK, error) {
+	s, err := ctx.requireSession()
+	if err != nil {
+		return nil, err
+	}
+	c := ctx.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.types[req.Type]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", core.ErrNoSuchType, req.Type)
+	}
+	if _, dup := s.ports[req.Name]; dup {
+		return nil, fmt.Errorf("%w: port %q", core.ErrDuplicateName, req.Name)
+	}
+	if t.Composite() {
+		// Composite ports are built from previously-registered
+		// component ports.
+		for _, compType := range t.Components {
+			compPort, ok := req.Components[compType]
+			if !ok {
+				return nil, fmt.Errorf("%w: composite port missing component for type %q", core.ErrBadRequest, compType)
+			}
+			p, ok := s.ports[compPort]
+			if !ok {
+				return nil, fmt.Errorf("%w: component port %q", core.ErrNoSuchPort, compPort)
+			}
+			if p.Type != compType {
+				return nil, fmt.Errorf("%w: port %q is %q, need %q", core.ErrTypeMismatch, compPort, p.Type, compType)
+			}
+		}
+	} else if req.Addr == "" {
+		return nil, fmt.Errorf("%w: atomic port needs a data address", core.ErrBadRequest)
+	}
+	c.nextPort++
+	s.ports[req.Name] = &core.DisplayPort{
+		ID:         c.nextPort,
+		Session:    s.id,
+		Name:       req.Name,
+		Type:       req.Type,
+		Addr:       req.Addr,
+		Control:    req.Control,
+		Components: req.Components,
+	}
+	return &wire.PortOK{Port: c.nextPort}, nil
+}
+
+func (ctx *connCtx) unregisterPort(req wire.UnregisterPort) error {
+	s, err := ctx.requireSession()
+	if err != nil {
+		return err
+	}
+	c := ctx.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := s.ports[req.Name]; !ok {
+		return fmt.Errorf("%w: %q", core.ErrNoSuchPort, req.Name)
+	}
+	delete(s.ports, req.Name)
+	return nil
+}
+
+// resolvePlay computes the stream specs for one play request. Callers
+// hold c.mu. It reserves bandwidth; the caller must roll back via
+// releaseStreamLocked on failure.
+type plannedStream struct {
+	spec core.StreamSpec
+	rec  *contentRec
+}
+
+// expandContent returns the atomic items behind a content name:
+// composite items expand to their children.
+func (c *Coordinator) expandContent(name string) (*contentRec, []*contentRec, error) {
+	rec, ok := c.contents[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", core.ErrNoSuchContent, name)
+	}
+	t, ok := c.types[rec.info.Type]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", core.ErrNoSuchType, rec.info.Type)
+	}
+	if !t.Composite() {
+		return rec, []*contentRec{rec}, nil
+	}
+	var parts []*contentRec
+	for _, child := range rec.children {
+		cr, ok := c.contents[child]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: component %q", core.ErrNoSuchContent, child)
+		}
+		parts = append(parts, cr)
+	}
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("%w: composite %q has no components", core.ErrBadRequest, name)
+	}
+	return rec, parts, nil
+}
+
+// portForType finds the data/control addresses for an atomic part. For
+// composite ports it follows the component mapping.
+func portForType(s *session, port *core.DisplayPort, atomicType string) (data, ctrl string, err error) {
+	if port.Type == atomicType {
+		return port.Addr, port.Control, nil
+	}
+	compName, ok := port.Components[atomicType]
+	if !ok {
+		return "", "", fmt.Errorf("%w: port %q has no component for %q", core.ErrTypeMismatch, port.Name, atomicType)
+	}
+	p, ok := s.ports[compName]
+	if !ok {
+		return "", "", fmt.Errorf("%w: component port %q", core.ErrNoSuchPort, compName)
+	}
+	return p.Addr, p.Control, nil
+}
+
+// play schedules playback. With req.Wait it retries while resources
+// are busy, up to QueueTimeout (§2.2: queued requests).
+func (ctx *connCtx) play(req wire.Play) (*wire.PlayOK, error) {
+	deadline := time.Now().Add(ctx.c.cfg.QueueTimeout)
+	for {
+		resp, retry, err := ctx.tryPlay(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !req.Wait || !retry {
+			return nil, err
+		}
+		ctx.c.mu.Lock()
+		ch := ctx.c.release
+		ctx.c.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
+		}
+	}
+}
+
+// tryPlay attempts one scheduling pass. retry reports whether queueing
+// could help (resources busy, as opposed to a permanent error).
+func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err error) {
+	s, err := ctx.requireSession()
+	if err != nil {
+		return nil, false, err
+	}
+	c := ctx.c
+	c.mu.Lock()
+
+	port, ok := s.ports[req.Port]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %q", core.ErrNoSuchPort, req.Port)
+	}
+	parent, parts, err := c.expandContent(req.Content)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	// "Calliope checks that the port and the content have the same
+	// type" (§2.1).
+	if port.Type != parent.info.Type {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: content %q is %q, port %q is %q",
+			core.ErrTypeMismatch, req.Content, parent.info.Type, port.Name, port.Type)
+	}
+	msuID := parts[0].info.Disk.MSU
+	m := c.msus[msuID]
+	if m == nil || !m.alive {
+		c.mu.Unlock()
+		return nil, true, fmt.Errorf("%w: %q", core.ErrMSUUnavailable, msuID)
+	}
+	if req.ControlAddr == "" {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: play needs a control address", core.ErrBadRequest)
+	}
+
+	c.nextGroup++
+	group := c.nextGroup
+	var planned []plannedStream
+	rollback := func() {
+		for _, p := range planned {
+			d := m.disks[p.spec.Disk]
+			d.bw.Release(uint64(p.spec.Stream)) //nolint:errcheck
+			delete(c.active, p.spec.Stream)
+		}
+	}
+	for _, part := range parts {
+		if part.info.Disk.MSU != msuID {
+			rollback()
+			c.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: stream group split across MSUs (%q vs %q)",
+				core.ErrBadRequest, msuID, part.info.Disk.MSU)
+		}
+		t, ok := c.types[part.info.Type]
+		if !ok {
+			rollback()
+			c.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: %q", core.ErrNoSuchType, part.info.Type)
+		}
+		data, ctrl, err := portForType(s, port, part.info.Type)
+		if err != nil {
+			rollback()
+			c.mu.Unlock()
+			return nil, false, err
+		}
+		d := m.disks[part.info.Disk.N]
+		c.nextStream++
+		id := c.nextStream
+		if err := d.bw.Reserve(uint64(id), int64(t.Bandwidth)); err != nil {
+			rollback()
+			c.mu.Unlock()
+			return nil, true, fmt.Errorf("%w: disk %v bandwidth", core.ErrNoResources, part.info.Disk)
+		}
+		spec := core.StreamSpec{
+			Stream:    id,
+			Group:     group,
+			Content:   part.info.Name,
+			Type:      part.info.Type,
+			Protocol:  t.Protocol,
+			Class:     t.Class,
+			Rate:      t.Bandwidth,
+			Disk:      part.info.Disk.N,
+			DestAddr:  data,
+			CtrlAddr:  ctrl,
+			ClientTCP: req.ControlAddr,
+		}
+		planned = append(planned, plannedStream{spec: spec, rec: part})
+		c.active[id] = &activeStream{
+			id: id, group: group, msu: msuID, disk: part.info.Disk.N,
+			session: s.id, content: part.info.Name, typ: part.info.Type,
+		}
+	}
+	peer := m.peer
+	c.mu.Unlock()
+
+	// Issue StartStream RPCs outside the lock; roll back on failure.
+	started := 0
+	var callErr error
+	for _, p := range planned {
+		p.spec.GroupSize = len(planned)
+		if callErr = peer.CallTimeout(wire.TypeStartStream, wire.StartStream{Spec: p.spec}, nil, msuRPCTimeout); callErr != nil {
+			break
+		}
+		started++
+	}
+	if callErr != nil {
+		for i := 0; i < started; i++ {
+			peer.Notify(wire.TypeStopStream, wire.StopStream{Stream: planned[i].spec.Stream}) //nolint:errcheck
+		}
+		c.mu.Lock()
+		rollback()
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("coordinator: starting stream on %q: %w", msuID, callErr)
+	}
+
+	out := &wire.PlayOK{Group: group, MSU: msuID, Length: parent.info.Length, Size: parent.info.Size}
+	for _, p := range planned {
+		out.Streams = append(out.Streams, wire.StreamInfo{
+			Stream: p.spec.Stream, Content: p.spec.Content, Type: p.spec.Type,
+		})
+	}
+	return out, false, nil
+}
+
+// record schedules a recording: it needs an MSU disk with both
+// bandwidth and space for every component (§2.2).
+func (ctx *connCtx) record(req wire.Record) (*wire.RecordOK, error) {
+	deadline := time.Now().Add(ctx.c.cfg.QueueTimeout)
+	for {
+		resp, retry, err := ctx.tryRecord(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !req.Wait || !retry {
+			return nil, err
+		}
+		ctx.c.mu.Lock()
+		ch := ctx.c.release
+		ctx.c.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
+		}
+	}
+}
+
+func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool, err error) {
+	s, err := ctx.requireSession()
+	if err != nil {
+		return nil, false, err
+	}
+	if req.Estimate <= 0 {
+		return nil, false, fmt.Errorf("%w: recording needs a length estimate", core.ErrBadRequest)
+	}
+	if req.Content == "" {
+		return nil, false, fmt.Errorf("%w: recording needs a content name", core.ErrBadRequest)
+	}
+	if req.ControlAddr == "" {
+		return nil, false, fmt.Errorf("%w: record needs a control address", core.ErrBadRequest)
+	}
+	c := ctx.c
+	c.mu.Lock()
+
+	port, ok := s.ports[req.Port]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %q", core.ErrNoSuchPort, req.Port)
+	}
+	t, ok := c.types[req.Type]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %q", core.ErrNoSuchType, req.Type)
+	}
+	if port.Type != req.Type {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: port %q is %q, recording %q", core.ErrTypeMismatch, port.Name, port.Type, req.Type)
+	}
+	if _, exists := c.contents[req.Content]; exists {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: content %q", core.ErrDuplicateName, req.Content)
+	}
+	// An in-flight recording of the same name also blocks reuse.
+	for _, a := range c.active {
+		if a.record && (a.content == req.Content || strings.HasPrefix(a.content, req.Content+"/")) {
+			c.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: recording %q in progress", core.ErrDuplicateName, req.Content)
+		}
+	}
+
+	// Expand composite recordings into component parts.
+	type part struct {
+		name, typ string
+		t         core.ContentType
+	}
+	var parts []part
+	if t.Composite() {
+		for _, compType := range t.Components {
+			ct, ok := c.types[compType]
+			if !ok {
+				c.mu.Unlock()
+				return nil, false, fmt.Errorf("%w: component type %q", core.ErrNoSuchType, compType)
+			}
+			parts = append(parts, part{name: req.Content + "/" + compType, typ: compType, t: ct})
+		}
+	} else {
+		parts = append(parts, part{name: req.Content, typ: req.Type, t: t})
+	}
+
+	// Find an MSU hosting every part: bandwidth + space on its disks.
+	// "It must schedule the request on an MSU that has both disk space
+	// and bandwidth available."
+	var chosen *msuState
+	var placement []int // disk index per part
+	for _, m := range c.msus {
+		if !m.alive {
+			continue
+		}
+		placement = placement[:0]
+		ok := true
+		type tempRes struct {
+			d   *diskState
+			key uint64
+			bw  int64
+			sp  int64
+		}
+		var temp []tempRes
+		for pi, p := range parts {
+			found := -1
+			for di, d := range m.disks {
+				blocks := blocksForEstimate(p.t, req.Estimate, d.blockSize)
+				key := uint64(1<<63) + uint64(pi) // temporary probe keys
+				if err := d.bw.Reserve(key, int64(p.t.Bandwidth)); err != nil {
+					continue
+				}
+				if err := d.space.Reserve(key, blocks); err != nil {
+					d.bw.Release(key) //nolint:errcheck
+					continue
+				}
+				temp = append(temp, tempRes{d: d, key: key})
+				found = di
+				break
+			}
+			if found < 0 {
+				ok = false
+				break
+			}
+			placement = append(placement, found)
+		}
+		for _, tr := range temp {
+			tr.d.bw.Release(tr.key)    //nolint:errcheck
+			tr.d.space.Release(tr.key) //nolint:errcheck
+		}
+		if ok {
+			chosen = m
+			break
+		}
+	}
+	if chosen == nil {
+		c.mu.Unlock()
+		return nil, true, fmt.Errorf("%w: no MSU with bandwidth and space", core.ErrNoResources)
+	}
+
+	c.nextGroup++
+	group := c.nextGroup
+	var planned []core.StreamSpec
+	var reservedBlocks []int64
+	rollback := func() {
+		for i, spec := range planned {
+			d := chosen.disks[spec.Disk]
+			d.bw.Release(uint64(spec.Stream))    //nolint:errcheck
+			d.space.Release(uint64(spec.Stream)) //nolint:errcheck
+			delete(c.active, spec.Stream)
+			_ = i
+		}
+	}
+	for pi, p := range parts {
+		d := chosen.disks[placement[pi]]
+		blocks := blocksForEstimate(p.t, req.Estimate, d.blockSize)
+		c.nextStream++
+		id := c.nextStream
+		if err := d.bw.Reserve(uint64(id), int64(p.t.Bandwidth)); err != nil {
+			rollback()
+			c.mu.Unlock()
+			return nil, true, err
+		}
+		if err := d.space.Reserve(uint64(id), blocks); err != nil {
+			d.bw.Release(uint64(id)) //nolint:errcheck
+			rollback()
+			c.mu.Unlock()
+			return nil, true, err
+		}
+		data, ctrl, err := portForType(s, port, p.typ)
+		if err != nil {
+			d.bw.Release(uint64(id))    //nolint:errcheck
+			d.space.Release(uint64(id)) //nolint:errcheck
+			rollback()
+			c.mu.Unlock()
+			return nil, false, err
+		}
+		_ = data // recording: the MSU opens the sockets; port supplies nothing
+		_ = ctrl
+		spec := core.StreamSpec{
+			Stream:    id,
+			Group:     group,
+			Content:   p.name,
+			Type:      p.typ,
+			Protocol:  p.t.Protocol,
+			Class:     p.t.Class,
+			Rate:      p.t.Bandwidth,
+			Disk:      placement[pi],
+			ClientTCP: req.ControlAddr,
+			Record:    true,
+			Estimate:  req.Estimate,
+			Reserved:  units.ByteSize(blocks * int64(d.blockSize)),
+		}
+		planned = append(planned, spec)
+		reservedBlocks = append(reservedBlocks, blocks)
+		c.active[id] = &activeStream{
+			id: id, group: group, msu: chosen.id, disk: placement[pi],
+			session: s.id, content: p.name, typ: p.typ, record: true,
+			spaceReserved: blocks,
+		}
+	}
+	peer := chosen.peer
+	c.mu.Unlock()
+
+	out := &wire.RecordOK{Group: group, MSU: chosen.id}
+	started := 0
+	var callErr error
+	for _, spec := range planned {
+		spec.GroupSize = len(planned)
+		var ok wire.StartStreamOK
+		if callErr = peer.CallTimeout(wire.TypeStartStream, wire.StartStream{Spec: spec}, &ok, msuRPCTimeout); callErr != nil {
+			break
+		}
+		started++
+		out.Streams = append(out.Streams, wire.RecordStream{
+			Stream: spec.Stream, Content: spec.Content, Type: spec.Type,
+			DataAddr: ok.DataAddr, CtrlAddr: ok.CtrlAddr,
+		})
+		out.Reserved += spec.Reserved
+	}
+	if callErr != nil {
+		for i := 0; i < started; i++ {
+			peer.Notify(wire.TypeStopStream, wire.StopStream{Stream: planned[i].Stream}) //nolint:errcheck
+		}
+		c.mu.Lock()
+		rollback()
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("coordinator: starting recording on %q: %w", chosen.id, callErr)
+	}
+	if t.Composite() {
+		waiting := make(map[string]bool, len(parts))
+		for _, p := range parts {
+			waiting[p.name] = true
+		}
+		c.mu.Lock()
+		c.pending[group] = &pendingComposite{parent: req.Content, typ: req.Type, waiting: waiting}
+		c.mu.Unlock()
+	}
+	_ = reservedBlocks
+	return out, false, nil
+}
+
+// blocksForEstimate converts a recording-length estimate into a block
+// reservation using the type's storage consumption rate (§2.2: "The
+// Coordinator uses this estimate and the content type information to
+// determine how much disk space the recording will consume").
+func blocksForEstimate(t core.ContentType, estimate time.Duration, blockSize int) int64 {
+	bytes := t.Storage.Bytes(estimate)
+	blocks := (int64(bytes) + int64(blockSize) - 1) / int64(blockSize)
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}

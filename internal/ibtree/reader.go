@@ -1,0 +1,205 @@
+package ibtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Tree reads a finalized IB-tree.
+type Tree struct {
+	f        BlockFile
+	pageSize int
+	meta     Meta
+}
+
+// Open attaches to a finalized tree described by meta.
+func Open(f BlockFile, pageSize int, meta Meta) (*Tree, error) {
+	if pageSize < pageHdrLen+packetHdrLen+1 {
+		return nil, fmt.Errorf("ibtree: page size %d too small", pageSize)
+	}
+	if meta.Packets == 0 {
+		return nil, ErrEmpty
+	}
+	if !meta.Root.valid(pageSize) || meta.Root.Page >= meta.Pages {
+		return nil, fmt.Errorf("%w: root %v with %d pages", ErrBadPointer, meta.Root, meta.Pages)
+	}
+	return &Tree{f: f, pageSize: pageSize, meta: meta}, nil
+}
+
+// Meta returns the tree's metadata.
+func (t *Tree) Meta() Meta { return t.meta }
+
+// Length reports the delivery time of the last packet.
+func (t *Tree) Length() time.Duration { return t.meta.Length }
+
+// readPage loads data page i.
+func (t *Tree) readPage(i int64, buf []byte) error {
+	if i < 0 || i >= t.meta.Pages {
+		return fmt.Errorf("%w: page %d of %d", ErrCorrupt, i, t.meta.Pages)
+	}
+	if err := t.f.ReadBlock(i, buf); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != pageMagic {
+		return fmt.Errorf("%w: bad magic on page %d", ErrCorrupt, i)
+	}
+	return nil
+}
+
+// readNode loads the embedded internal page at p.
+func (t *Tree) readNode(p Ptr) (*node, error) {
+	buf := make([]byte, t.pageSize)
+	if err := t.readPage(p.Page, buf); err != nil {
+		return nil, err
+	}
+	if int(p.Offset) < pageHdrLen+embedHdrLen || int(p.Offset) > t.pageSize {
+		return nil, fmt.Errorf("%w: node offset %d", ErrBadPointer, p.Offset)
+	}
+	// The embed header sits just before the node body.
+	hdr := buf[p.Offset-embedHdrLen:]
+	if hdr[0] != kindInternal {
+		return nil, fmt.Errorf("%w: pointer %v does not address an internal page", ErrCorrupt, p)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if int(p.Offset)+n > t.pageSize {
+		return nil, fmt.Errorf("%w: node overruns page", ErrCorrupt)
+	}
+	return deserializeNode(buf[p.Offset : int(p.Offset)+n])
+}
+
+// SeekTime positions a cursor at the first packet with delivery time
+// ≥ tm (or at the last packet if tm is beyond the end). It traverses
+// the embedded internal pages "in the usual way" (§2.2.1). The number
+// of pages it touches is the tree height + 1.
+func (t *Tree) SeekTime(tm time.Duration) (*Cursor, error) {
+	ptr := t.meta.Root
+	for level := t.meta.RootLevel; level >= 1; level-- {
+		n, err := t.readNode(ptr)
+		if err != nil {
+			return nil, err
+		}
+		if n.level != level {
+			return nil, fmt.Errorf("%w: expected level %d node, found %d", ErrCorrupt, level, n.level)
+		}
+		if len(n.keys) == 0 {
+			return nil, fmt.Errorf("%w: empty internal page", ErrCorrupt)
+		}
+		// Descend to the last child whose first key is strictly below
+		// tm (the first child if none is). Packets with time == tm can
+		// start in that child when duplicate delivery times span a
+		// page boundary; the forward scan below crosses into the next
+		// page when needed.
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= tm })
+		if i > 0 {
+			i--
+		}
+		ptr = decodePtr(n.childs[i])
+	}
+	c := &Cursor{t: t, page: make([]byte, t.pageSize), pageIdx: -1}
+	if err := c.loadPage(ptr.Page); err != nil {
+		return nil, err
+	}
+	// Scan forward within (and past) the leaf page to the first packet
+	// with time ≥ tm.
+	for {
+		pkt, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if pkt == nil {
+			// tm beyond the end: rewind to deliver the final packet.
+			return t.SeekTime(t.meta.Length)
+		}
+		if pkt.Time >= tm {
+			c.pushback(pkt)
+			return c, nil
+		}
+	}
+}
+
+// Begin positions a cursor at the first packet.
+func (t *Tree) Begin() (*Cursor, error) {
+	c := &Cursor{t: t, page: make([]byte, t.pageSize), pageIdx: -1}
+	if err := c.loadPage(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Cursor iterates packets in delivery order. Sequential reads load
+// whole data pages and skip embedded internal pages without
+// interpreting them, as the paper's MSU does.
+type Cursor struct {
+	t       *Tree
+	page    []byte
+	pageIdx int64
+	off     int
+	held    *Packet // pushback slot
+	done    bool
+}
+
+func (c *Cursor) loadPage(i int64) error {
+	if err := c.t.readPage(i, c.page); err != nil {
+		return err
+	}
+	c.pageIdx = i
+	c.off = pageHdrLen
+	return nil
+}
+
+func (c *Cursor) pushback(p *Packet) { c.held = p }
+
+// Next returns the next packet, or nil at end of stream. The returned
+// payload aliases the cursor's page buffer and is valid until the next
+// call.
+func (c *Cursor) Next() (*Packet, error) {
+	if c.held != nil {
+		p := c.held
+		c.held = nil
+		return p, nil
+	}
+	if c.done {
+		return nil, nil
+	}
+	for {
+		// End of page (or end marker): advance to the next page.
+		if c.off+1 > len(c.page) || c.page[c.off] == kindEnd {
+			if c.pageIdx+1 >= c.t.meta.Pages {
+				c.done = true
+				return nil, nil
+			}
+			if err := c.loadPage(c.pageIdx + 1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch c.page[c.off] {
+		case kindPacket:
+			if c.off+packetHdrLen > len(c.page) {
+				return nil, fmt.Errorf("%w: truncated packet header on page %d", ErrCorrupt, c.pageIdx)
+			}
+			n := int(binary.BigEndian.Uint32(c.page[c.off+4 : c.off+8]))
+			tm := time.Duration(binary.BigEndian.Uint64(c.page[c.off+8 : c.off+16]))
+			start := c.off + packetHdrLen
+			if start+n > len(c.page) {
+				return nil, fmt.Errorf("%w: packet overruns page %d", ErrCorrupt, c.pageIdx)
+			}
+			c.off = start + n
+			return &Packet{Time: tm, Payload: c.page[start : start+n]}, nil
+		case kindInternal:
+			// Part of the search tree: read past it without touching it.
+			if c.off+embedHdrLen > len(c.page) {
+				return nil, fmt.Errorf("%w: truncated embed header on page %d", ErrCorrupt, c.pageIdx)
+			}
+			n := int(binary.BigEndian.Uint32(c.page[c.off+4 : c.off+8]))
+			c.off += embedHdrLen + n
+		default:
+			return nil, fmt.Errorf("%w: unknown record kind %d on page %d", ErrCorrupt, c.page[c.off], c.pageIdx)
+		}
+	}
+}
+
+// Page reports the index of the data page the cursor currently reads.
+func (c *Cursor) Page() int64 { return c.pageIdx }

@@ -1,0 +1,103 @@
+package ibtree
+
+import (
+	"testing"
+	"time"
+
+	"calliope/internal/blockdev"
+	"calliope/internal/msufs"
+	"calliope/internal/units"
+)
+
+// TestTreeOverStripedFile drives the IB-tree through msufs's striped
+// layout (§2.3.3's future-work design): logical blocks land round-robin
+// across volumes while the tree neither knows nor cares.
+func TestTreeOverStripedFile(t *testing.T) {
+	vols := make([]*msufs.Volume, 3)
+	for i := range vols {
+		dev, err := blockdev.NewMem(8 * int64(units.MB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := msufs.Format(dev, msufs.Options{BlockSize: 64 * 1024, MetaSize: 256 * 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vols[i] = v
+	}
+	set, err := msufs.NewStripeSet(vols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := set.Create("striped-movie", 4*int64(units.MB), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewBuilder(file, set.BlockSize(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	payload := make([]byte, 1024)
+	for i := 0; i < n; i++ {
+		payload[0], payload[1] = byte(i), byte(i>>8)
+		if err := b.Append(Packet{Time: time.Duration(i) * 10 * time.Millisecond, Payload: payload}); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	meta, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file genuinely striped: every volume holds a share.
+	for i, v := range vols {
+		st, err := v.Stat("striped-movie")
+		if err != nil {
+			t.Fatalf("volume %d: %v", i, err)
+		}
+		if st.Blocks == 0 {
+			t.Errorf("volume %d holds no blocks", i)
+		}
+	}
+
+	// Reopen through the stripe and verify scan + seeks.
+	reopened, err := set.Open("striped-movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Open(reopened, set.BlockSize(), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		pkt, err := c.Next()
+		if err != nil || pkt == nil {
+			t.Fatalf("Next(%d): %v %v", i, pkt, err)
+		}
+		if got := int(pkt.Payload[0]) | int(pkt.Payload[1])<<8; got != i {
+			t.Fatalf("packet %d carries %d", i, got)
+		}
+	}
+	for _, probe := range []int{0, 777, 1999, 3999} {
+		cur, err := tree.SeekTime(time.Duration(probe) * 10 * time.Millisecond)
+		if err != nil {
+			t.Fatalf("seek %d: %v", probe, err)
+		}
+		pkt, err := cur.Next()
+		if err != nil || pkt == nil {
+			t.Fatalf("seek %d next: %v %v", probe, pkt, err)
+		}
+		if got := int(pkt.Payload[0]) | int(pkt.Payload[1])<<8; got != probe {
+			t.Fatalf("seek %d landed on %d", probe, got)
+		}
+	}
+}

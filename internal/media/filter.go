@@ -1,0 +1,132 @@
+package media
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file implements the offline fast-forward / fast-backward filter
+// of §2.3.1: "The filtering program reads the recorded stream, selects
+// every fifteenth video frame, recompresses the filtered stream, and
+// loads it into the server. For the fast-backward version, the frames
+// are stored in the filtered stream in reverse order." The filtered
+// stream plays at the normal stream rate, so delivering it yields an
+// Every-times faster visual rate.
+
+// DefaultFilterEvery matches the paper's every-fifteenth-frame filter,
+// which with a 15-frame GOP selects exactly the intra-coded frames.
+const DefaultFilterEvery = 15
+
+// ErrNoFrames reports a filter input with no parseable frames.
+var ErrNoFrames = errors.New("media: no frames in stream")
+
+// frame groups the packets of one source frame.
+type frame struct {
+	num  uint32
+	pkts []Packet
+}
+
+// collectFrames groups packets by frame number, preserving order.
+func collectFrames(pkts []Packet) ([]frame, error) {
+	var frames []frame
+	for i, p := range pkts {
+		h, err := ParseHeader(p.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		if n := len(frames); n == 0 || frames[n-1].num != h.Frame {
+			frames = append(frames, frame{num: h.Frame})
+		}
+		frames[len(frames)-1].pkts = append(frames[len(frames)-1].pkts, p)
+	}
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	return frames, nil
+}
+
+// FilterFast produces the fast-forward (reverse=false) or fast-backward
+// (reverse=true) companion stream: every-th frame is selected and the
+// result is re-timed to play at the original frame cadence. Selected
+// frames are re-marked as I-frames and renumbered, as the paper's
+// recompression step implies.
+func FilterFast(pkts []Packet, every int, reverse bool) ([]Packet, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("media: filter interval %d must be positive", every)
+	}
+	frames, err := collectFrames(pkts)
+	if err != nil {
+		return nil, err
+	}
+	// Original frame cadence, from the spacing of frame start times.
+	frameDur := 33 * time.Millisecond // fallback for single-frame input
+	if len(frames) > 1 {
+		span := frames[len(frames)-1].pkts[0].Time - frames[0].pkts[0].Time
+		frameDur = span / time.Duration(len(frames)-1)
+		if frameDur <= 0 {
+			frameDur = 33 * time.Millisecond
+		}
+	}
+	var selected []frame
+	for i := 0; i < len(frames); i += every {
+		selected = append(selected, frames[i])
+	}
+	if reverse {
+		for i, j := 0, len(selected)-1; i < j; i, j = i+1, j-1 {
+			selected[i], selected[j] = selected[j], selected[i]
+		}
+	}
+	var out []Packet
+	for fi, fr := range selected {
+		base := time.Duration(fi) * frameDur
+		// Preserve within-frame packet offsets relative to the frame's
+		// first packet (the burst shape survives filtering).
+		first := fr.pkts[0].Time
+		for pi, p := range fr.pkts {
+			payload := make([]byte, len(p.Payload))
+			copy(payload, p.Payload)
+			EncodeHeader(Header{
+				Frame: uint32(fi),
+				Type:  IFrame,
+				Index: uint16(pi),
+				Count: uint16(len(fr.pkts)),
+			}, payload)
+			off := p.Time - first
+			if off < 0 {
+				off = 0
+			}
+			out = append(out, Packet{Time: base + off, Payload: payload})
+		}
+	}
+	return out, nil
+}
+
+// MapPosition translates a playback position in the normal-rate stream
+// into the corresponding position in a filtered stream and vice versa.
+// The MSU uses it when a client switches speed: "the MSU seeks to the
+// frame in the fast forward file corresponding to the current frame of
+// the normal rate file" (§2.3.1).
+func MapPosition(pos time.Duration, every int, toFiltered bool) time.Duration {
+	if every <= 0 {
+		return pos
+	}
+	if toFiltered {
+		return pos / time.Duration(every)
+	}
+	return pos * time.Duration(every)
+}
+
+// MapPositionBackward translates a normal-rate position into the
+// fast-backward stream, whose time axis runs from the end of the
+// content toward the beginning.
+func MapPositionBackward(pos, length time.Duration, every int) time.Duration {
+	if every <= 0 || length <= 0 {
+		return 0
+	}
+	rem := length - pos
+	if rem < 0 {
+		rem = 0
+	}
+	return rem / time.Duration(every)
+}

@@ -1,0 +1,190 @@
+package media
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"calliope/internal/units"
+)
+
+func sourceStream(t *testing.T) []Packet {
+	t.Helper()
+	pkts, err := GenerateCBR(CBRConfig{
+		Rate:       1500 * units.Kbps,
+		PacketSize: 4096,
+		FPS:        30,
+		GOP:        15,
+		Duration:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkts
+}
+
+func frameNumbers(t *testing.T, pkts []Packet) []uint32 {
+	t.Helper()
+	var out []uint32
+	for _, p := range pkts {
+		h, err := ParseHeader(p.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 || out[len(out)-1] != h.Frame {
+			out = append(out, h.Frame)
+		}
+	}
+	return out
+}
+
+func TestFilterFastForwardSelectsEveryFifteenth(t *testing.T) {
+	src := sourceStream(t) // 300 frames
+	ff, err := FilterFast(src, DefaultFilterEvery, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := frameNumbers(t, ff)
+	if len(frames) != 20 { // 300/15
+		t.Fatalf("filtered frames = %d, want 20", len(frames))
+	}
+	// Output frames are renumbered sequentially and all intra-coded.
+	for i, p := range ff {
+		h, _ := ParseHeader(p.Payload)
+		if h.Type != IFrame {
+			t.Fatalf("packet %d type %c, want I", i, h.Type)
+		}
+	}
+	for i, f := range frames {
+		if f != uint32(i) {
+			t.Fatalf("frame %d numbered %d", i, f)
+		}
+	}
+}
+
+func TestFilterPlaysAtNormalRateForFasterMotion(t *testing.T) {
+	// The filtered stream spans 1/15th of the source duration at the
+	// same frame cadence, so playing it at the normal rate covers
+	// content 15x faster.
+	src := sourceStream(t)
+	ff, err := FilterFast(src, 15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcSpan := src[len(src)-1].Time - src[0].Time
+	ffSpan := ff[len(ff)-1].Time - ff[0].Time
+	ratio := float64(srcSpan) / float64(ffSpan)
+	if ratio < 12 || ratio > 18 {
+		t.Errorf("span compression = %.1fx, want ~15x", ratio)
+	}
+}
+
+func TestFilterBackwardReversesFrames(t *testing.T) {
+	src := sourceStream(t)
+	fb, err := FilterFast(src, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First output frame must carry the content of the LAST selected
+	// source frame. Source frame content is identifiable by the filler
+	// pattern... we instead check time monotonicity and that the
+	// packet count matches the forward version.
+	ffPkts, _ := FilterFast(src, 15, false)
+	if len(fb) != len(ffPkts) {
+		t.Fatalf("backward has %d packets, forward %d", len(fb), len(ffPkts))
+	}
+	var last time.Duration
+	for i, p := range fb {
+		if p.Time < last {
+			t.Fatalf("packet %d time regressed", i)
+		}
+		last = p.Time
+	}
+}
+
+func TestFilterBackwardFrameOrder(t *testing.T) {
+	// Build a tiny stream with distinguishable frames: 1 packet per
+	// frame, payload byte 15 encodes the original frame number.
+	var src []Packet
+	for f := 0; f < 6; f++ {
+		payload := make([]byte, HeaderLen+1)
+		EncodeHeader(Header{Frame: uint32(f), Type: IFrame, Index: 0, Count: 1}, payload)
+		payload[HeaderLen] = byte(f)
+		src = append(src, Packet{Time: time.Duration(f) * 100 * time.Millisecond, Payload: payload})
+	}
+	fb, err := FilterFast(src, 2, true) // selects frames 0,2,4 → emits 4,2,0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 3 {
+		t.Fatalf("packets = %d, want 3", len(fb))
+	}
+	want := []byte{4, 2, 0}
+	for i, p := range fb {
+		if p.Payload[HeaderLen] != want[i] {
+			t.Fatalf("output frame %d carries source frame %d, want %d", i, p.Payload[HeaderLen], want[i])
+		}
+	}
+}
+
+func TestFilterVBRPreservesBurstShape(t *testing.T) {
+	src, err := GenerateVBR(VBRConfig{TargetRate: 650 * units.Kbps, FPS: 15, PacketSize: 1024, Duration: 20 * time.Second, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := FilterFast(src, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-frame gaps still back-to-back.
+	for i := 1; i < len(ff); i++ {
+		ha, _ := ParseHeader(ff[i-1].Payload)
+		hb, _ := ParseHeader(ff[i].Payload)
+		if ha.Frame == hb.Frame {
+			if gap := ff[i].Time - ff[i-1].Time; gap > 2*time.Millisecond {
+				t.Fatalf("burst shape lost: gap %v", gap)
+			}
+		}
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	if _, err := FilterFast(nil, 15, false); !errors.Is(err, ErrNoFrames) {
+		t.Errorf("empty input: %v", err)
+	}
+	src := sourceStream(t)
+	if _, err := FilterFast(src, 0, false); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad := []Packet{{Payload: []byte{1, 2, 3}}}
+	if _, err := FilterFast(bad, 15, false); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("unparseable stream: %v", err)
+	}
+}
+
+func TestMapPosition(t *testing.T) {
+	// 60s into the normal stream ↔ 4s into a 15x fast file.
+	if got := MapPosition(60*time.Second, 15, true); got != 4*time.Second {
+		t.Errorf("toFiltered = %v", got)
+	}
+	if got := MapPosition(4*time.Second, 15, false); got != 60*time.Second {
+		t.Errorf("fromFiltered = %v", got)
+	}
+	if got := MapPosition(time.Second, 0, true); got != time.Second {
+		t.Errorf("zero interval = %v", got)
+	}
+}
+
+func TestMapPositionBackward(t *testing.T) {
+	// 90s into a 120s recording → 30s remain → 2s into the 15x
+	// backward file.
+	if got := MapPositionBackward(90*time.Second, 120*time.Second, 15); got != 2*time.Second {
+		t.Errorf("backward = %v", got)
+	}
+	if got := MapPositionBackward(130*time.Second, 120*time.Second, 15); got != 0 {
+		t.Errorf("past end = %v", got)
+	}
+	if got := MapPositionBackward(time.Second, 0, 15); got != 0 {
+		t.Errorf("zero length = %v", got)
+	}
+}

@@ -1,0 +1,261 @@
+package media
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"calliope/internal/units"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(frame uint32, idx, count uint16, tsel uint8) bool {
+		types := []FrameType{IFrame, PFrame, BFrame}
+		h := Header{Frame: frame, Type: types[int(tsel)%3], Index: idx, Count: count}
+		buf := make([]byte, HeaderLen)
+		EncodeHeader(h, buf)
+		got, err := ParseHeader(buf)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseHeaderRejections(t *testing.T) {
+	if _, err := ParseHeader(make([]byte, 4)); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("short payload: %v", err)
+	}
+	buf := make([]byte, HeaderLen)
+	if _, err := ParseHeader(buf); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("zero magic: %v", err)
+	}
+	EncodeHeader(Header{Type: IFrame}, buf)
+	buf[8] = 'X'
+	if _, err := ParseHeader(buf); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("bad frame type: %v", err)
+	}
+}
+
+func TestGenerateCBRRate(t *testing.T) {
+	// The paper's canonical stream: 1.5 Mbit/s MPEG-1 in 4 KB packets.
+	cfg := CBRConfig{
+		Rate:       1500 * units.Kbps,
+		PacketSize: 4096,
+		FPS:        30,
+		GOP:        15,
+		Duration:   time.Minute,
+	}
+	pkts, err := GenerateCBR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := AverageRate(pkts)
+	if ratio := float64(avg) / float64(cfg.Rate); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("average rate %v, want ~%v", avg, cfg.Rate)
+	}
+	// Constant rate: the 50ms peak should be close to the average.
+	peak := PeakRate(pkts, 50*time.Millisecond)
+	if ratio := float64(peak) / float64(avg); ratio > 1.7 {
+		t.Errorf("CBR peak/avg = %.2f, want ≤ 1.7", ratio)
+	}
+}
+
+func TestGenerateCBRMonotoneAndParseable(t *testing.T) {
+	pkts, err := GenerateCBR(CBRConfig{Rate: 1500 * units.Kbps, PacketSize: 4096, FPS: 30, GOP: 15, Duration: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	iFrames := 0
+	frames := map[uint32]bool{}
+	for i, p := range pkts {
+		if p.Time < last {
+			t.Fatalf("packet %d time %v before %v", i, p.Time, last)
+		}
+		last = p.Time
+		h, err := ParseHeader(p.Payload)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if h.Type == IFrame && !frames[h.Frame] {
+			iFrames++
+		}
+		frames[h.Frame] = true
+	}
+	// 10s at 30fps with GOP 15 → 300 frames, 20 I-frames.
+	if len(frames) != 300 {
+		t.Errorf("frames = %d, want 300", len(frames))
+	}
+	if iFrames != 20 {
+		t.Errorf("I-frames = %d, want 20", iFrames)
+	}
+}
+
+func TestGenerateCBRValidation(t *testing.T) {
+	base := CBRConfig{Rate: units.Mbps, PacketSize: 1024, FPS: 30, GOP: 15, Duration: time.Second}
+	muts := []func(*CBRConfig){
+		func(c *CBRConfig) { c.Rate = 0 },
+		func(c *CBRConfig) { c.PacketSize = HeaderLen },
+		func(c *CBRConfig) { c.FPS = 0 },
+		func(c *CBRConfig) { c.GOP = 0 },
+		func(c *CBRConfig) { c.Duration = 0 },
+	}
+	for i, mut := range muts {
+		cfg := base
+		mut(&cfg)
+		if _, err := GenerateCBR(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestGenerateVBRMatchesPaperFiles verifies the three synthetic nv
+// streams reproduce the paper's measured properties: average rates of
+// roughly 635–877 kbit/s and 50 ms-window peaks between 2.0 and 5.4
+// Mbit/s (§3.2.2).
+func TestGenerateVBRMatchesPaperFiles(t *testing.T) {
+	for _, target := range []units.BitRate{650 * units.Kbps, 635 * units.Kbps, 877 * units.Kbps} {
+		pkts, err := GenerateVBR(VBRConfig{
+			TargetRate: target,
+			FPS:        15,
+			PacketSize: 1024,
+			Duration:   2 * time.Minute,
+			Seed:       int64(target),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := AverageRate(pkts)
+		if ratio := float64(avg) / float64(target); ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("target %v: average %v off by %.2fx", target, avg, ratio)
+		}
+		peak := PeakRate(pkts, 50*time.Millisecond)
+		if peak < 1500*units.Kbps || peak > 8000*units.Kbps {
+			t.Errorf("target %v: 50ms peak %v outside the paper's bursty range", target, peak)
+		}
+		if peak < avg*2 {
+			t.Errorf("target %v: peak %v not bursty relative to avg %v", target, peak, avg)
+		}
+	}
+}
+
+func TestGenerateVBRDeterministic(t *testing.T) {
+	cfg := VBRConfig{TargetRate: 650 * units.Kbps, FPS: 15, PacketSize: 1024, Duration: 5 * time.Second, Seed: 42}
+	a, err := GenerateVBR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateVBR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || len(a[i].Payload) != len(b[i].Payload) {
+			t.Fatalf("runs diverge at packet %d", i)
+		}
+	}
+}
+
+func TestGenerateVBRBurstsBackToBack(t *testing.T) {
+	pkts, err := GenerateVBR(VBRConfig{TargetRate: 877 * units.Kbps, FPS: 15, PacketSize: 1024, Duration: 10 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packets within one frame must be spaced at the burst wire rate
+	// (default 10 Mbit/s → ~0.8 ms per 1 KB packet), far tighter than
+	// the 66 ms frame interval.
+	var withinFrameGaps, crossFrameGaps []time.Duration
+	for i := 1; i < len(pkts); i++ {
+		ha, _ := ParseHeader(pkts[i-1].Payload)
+		hb, _ := ParseHeader(pkts[i].Payload)
+		gap := pkts[i].Time - pkts[i-1].Time
+		if ha.Frame == hb.Frame {
+			withinFrameGaps = append(withinFrameGaps, gap)
+		} else {
+			crossFrameGaps = append(crossFrameGaps, gap)
+		}
+	}
+	if len(withinFrameGaps) == 0 {
+		t.Fatal("no multi-packet frames generated")
+	}
+	for _, g := range withinFrameGaps {
+		if g > 2*time.Millisecond {
+			t.Fatalf("within-frame gap %v is not back-to-back", g)
+		}
+	}
+}
+
+func TestVBRMonotone(t *testing.T) {
+	pkts, err := GenerateVBR(VBRConfig{TargetRate: 650 * units.Kbps, FPS: 15, PacketSize: 1024, Duration: 30 * time.Second, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Time < pkts[i-1].Time {
+			t.Fatalf("packet %d time regressed", i)
+		}
+	}
+}
+
+func TestPeakRateTwoPointer(t *testing.T) {
+	// Two packets of 1000 bytes 10ms apart, then silence: the 50ms
+	// window captures both → 2000B/50ms = 320 kbit/s.
+	pkts := []Packet{
+		{Time: 0, Payload: make([]byte, 1000)},
+		{Time: 10 * time.Millisecond, Payload: make([]byte, 1000)},
+		{Time: time.Second, Payload: make([]byte, 1000)},
+	}
+	got := PeakRate(pkts, 50*time.Millisecond)
+	want := units.RateOf(2000, 50*time.Millisecond)
+	if got != want {
+		t.Errorf("PeakRate = %v, want %v", got, want)
+	}
+	if PeakRate(nil, time.Second) != 0 {
+		t.Error("PeakRate(nil) != 0")
+	}
+	if PeakRate(pkts, 0) != 0 {
+		t.Error("PeakRate with zero window != 0")
+	}
+}
+
+func TestAverageRateEdges(t *testing.T) {
+	if AverageRate(nil) != 0 {
+		t.Error("AverageRate(nil) != 0")
+	}
+	one := []Packet{{Time: 0, Payload: make([]byte, 100)}}
+	if AverageRate(one) != 0 {
+		t.Error("AverageRate of zero-span stream != 0")
+	}
+}
+
+func TestGenerateVATAudio(t *testing.T) {
+	pkts, err := GenerateVATAudio(VATAudioConfig{Duration: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 s at 20 ms cadence = 100 packets of 168 bytes (8 header + 160).
+	if len(pkts) != 100 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	for i, p := range pkts {
+		if len(p.Payload) != 168 {
+			t.Fatalf("packet %d size %d", i, len(p.Payload))
+		}
+		if p.Time != time.Duration(i)*20*time.Millisecond {
+			t.Fatalf("packet %d time %v", i, p.Time)
+		}
+	}
+	// Rate is the telephony-ish 64 kbit/s payload + headers.
+	avg := AverageRate(pkts)
+	if avg < 60*units.Kbps || avg > 75*units.Kbps {
+		t.Fatalf("average rate %v", avg)
+	}
+	if _, err := GenerateVATAudio(VATAudioConfig{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

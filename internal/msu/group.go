@@ -1,0 +1,210 @@
+package msu
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/wire"
+)
+
+// group is a stream group (§2.2): the streams started together for one
+// (possibly composite) content item, controlled by a single VCR
+// connection so that commands start and stop all members
+// simultaneously. All members live on this MSU — the Coordinator never
+// splits a group across machines.
+type group struct {
+	m         *MSU
+	id        uint64
+	size      int
+	clientTCP string
+
+	mu      sync.Mutex
+	members []*stream
+	vcr     *wire.Peer
+	eofSent bool
+	quitted bool
+}
+
+func newGroup(m *MSU, id uint64, size int, clientTCP string) *group {
+	if size < 1 {
+		size = 1
+	}
+	return &group{m: m, id: id, size: size, clientTCP: clientTCP}
+}
+
+// addMember registers a stream; reports whether the group is complete.
+// Callers hold m.mu (not g.mu).
+func (g *group) addMember(s *stream) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members = append(g.members, s)
+	return len(g.members) == g.size
+}
+
+// length reports the group's playback length: the longest member.
+func (g *group) length() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var max time.Duration
+	for _, s := range g.members {
+		if s.length > max {
+			max = s.length
+		}
+	}
+	return max
+}
+
+// connectClient opens the VCR control connection to the client, sends
+// the hello, and starts every member — playback members begin
+// delivering, recorders begin accepting.
+func (g *group) connectClient() error {
+	conn, err := net.DialTimeout("tcp", g.clientTCP, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dialing %s: %w", g.clientTCP, err)
+	}
+	peer := wire.NewPeerStopped(conn, g.handleVCR, func(error) {
+		// A dead client control connection terminates the group — the
+		// Coordinator then reclaims the resources.
+		g.quit("client control connection lost")
+	})
+	g.mu.Lock()
+	g.vcr = peer
+	members := append([]*stream(nil), g.members...)
+	g.mu.Unlock()
+	peer.Start()
+
+	hello := wire.VCRHello{Group: g.id, Length: g.length()}
+	for _, s := range members {
+		hello.Streams = append(hello.Streams, wire.StreamInfo{
+			Stream: s.spec.Stream, Content: s.spec.Content, Type: s.spec.Type,
+		})
+	}
+	if err := peer.Notify(wire.TypeVCRHello, hello); err != nil {
+		return err
+	}
+	for _, s := range members {
+		if err := s.begin(); err != nil {
+			return fmt.Errorf("starting stream %d: %w", s.spec.Stream, err)
+		}
+	}
+	return nil
+}
+
+// handleVCR serves the client's VCR commands; every command applies to
+// all members of the group.
+func (g *group) handleVCR(msgType string, body json.RawMessage) (any, error) {
+	if msgType != wire.TypeVCR {
+		return nil, fmt.Errorf("%w: unexpected %q on VCR connection", core.ErrBadRequest, msgType)
+	}
+	var cmd wire.VCR
+	if err := json.Unmarshal(body, &cmd); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+	}
+	g.mu.Lock()
+	if g.quitted {
+		g.mu.Unlock()
+		return nil, core.ErrStreamTerminated
+	}
+	members := append([]*stream(nil), g.members...)
+	g.mu.Unlock()
+
+	apply := func(f func(*stream) error) error {
+		for _, s := range members {
+			if err := f(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var err error
+	switch cmd.Op {
+	case "pause":
+		err = apply(func(s *stream) error { return s.pause() })
+	case "play":
+		err = apply(func(s *stream) error { return s.resume() })
+	case "seek":
+		err = apply(func(s *stream) error { return s.seek(cmd.Pos) })
+	case "fast-forward":
+		err = apply(func(s *stream) error { return s.setSpeed(core.FastForward) })
+	case "fast-backward":
+		err = apply(func(s *stream) error { return s.setSpeed(core.FastBackward) })
+	case "quit":
+		// Ack first, then tear down; the connection dies with us.
+		go g.quit("client quit")
+		return &wire.VCRAck{Pos: members[0].position(), Speed: core.Normal.String()}, nil
+	default:
+		return nil, fmt.Errorf("%w: vcr op %q", core.ErrBadRequest, cmd.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &wire.VCRAck{Pos: members[0].position(), Speed: members[0].speedName()}, nil
+}
+
+// memberEOF records one member reaching end of content; when all have,
+// the client is told (§2.1's play flow ends here, but resources stay
+// allocated until quit so the client can seek back).
+func (g *group) memberEOF(s *stream) {
+	g.mu.Lock()
+	if g.eofSent || g.quitted {
+		g.mu.Unlock()
+		return
+	}
+	allDone := true
+	for _, m := range g.members {
+		if !m.atEOF() {
+			allDone = false
+			break
+		}
+	}
+	var vcr *wire.Peer
+	var pos time.Duration
+	if allDone {
+		g.eofSent = true
+		vcr = g.vcr
+		pos = g.members[0].position()
+	}
+	g.mu.Unlock()
+	if vcr != nil {
+		vcr.Notify(wire.TypeStreamEOF, wire.StreamEOF{Group: g.id, Pos: pos}) //nolint:errcheck
+	}
+}
+
+// clearEOF re-arms EOF notification after a seek or speed change.
+func (g *group) clearEOF() {
+	g.mu.Lock()
+	g.eofSent = false
+	g.mu.Unlock()
+}
+
+// quit terminates the whole group: recordings commit, players stop,
+// the Coordinator hears stream-ended for every member (§2.2: "After a
+// 'quit' command from the client, the MSU informs the coordinator that
+// the stream has been terminated").
+func (g *group) quit(cause string) {
+	g.mu.Lock()
+	if g.quitted {
+		g.mu.Unlock()
+		return
+	}
+	g.quitted = true
+	members := append([]*stream(nil), g.members...)
+	vcr := g.vcr
+	g.mu.Unlock()
+
+	for _, s := range members {
+		s.finishRecording()
+		s.teardown()
+		g.m.notifyCoordinator(wire.TypeStreamEnded, wire.StreamEnded{Stream: s.spec.Stream, Cause: cause})
+	}
+	if vcr != nil {
+		vcr.Close()
+	}
+	g.m.dropGroup(g)
+	g.m.logf("group %d terminated: %s", g.id, cause)
+}

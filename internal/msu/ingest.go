@@ -1,0 +1,148 @@
+package msu
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"calliope/internal/ibtree"
+	"calliope/internal/media"
+	"calliope/internal/msufs"
+	"calliope/internal/protocol"
+)
+
+// This file holds the offline administration path: loading synthetic
+// or pre-filtered content directly into a volume before an MSU serves
+// it. The paper's fast-forward/backward files are produced exactly
+// this way — "an administrator has to produce the fast forward and
+// fast backward versions of the content" (§2.3.1) — and an
+// "administrative interface is used to load [them] into the server".
+
+// Ingest writes a packet stream into vol as content named name with
+// the given content type. Packets must be in delivery-time order.
+func Ingest(vol msufs.Store, name, contentType string, pkts []media.Packet) error {
+	if len(pkts) == 0 {
+		return fmt.Errorf("msu: ingest %q: empty stream", name)
+	}
+	var bytes int64
+	for _, p := range pkts {
+		bytes += int64(len(p.Payload)) + 32
+	}
+	file, err := vol.Create(name, bytes, map[string]string{AttrType: contentType})
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		vol.Remove(name) //nolint:errcheck
+		return err
+	}
+	builder, err := ibtree.NewBuilder(file, vol.BlockSize(), 0)
+	if err != nil {
+		return cleanup(err)
+	}
+	for i, p := range pkts {
+		stored := protocol.EncodeStored(protocol.Data, p.Payload)
+		if err := builder.Append(ibtree.Packet{Time: p.Time, Payload: stored}); err != nil {
+			return cleanup(fmt.Errorf("msu: ingest %q packet %d: %w", name, i, err))
+		}
+	}
+	meta, err := builder.Finalize()
+	if err != nil {
+		return cleanup(err)
+	}
+	rawMeta, err := json.Marshal(meta)
+	if err != nil {
+		return cleanup(err)
+	}
+	if err := file.Commit(); err != nil {
+		return cleanup(err)
+	}
+	if err := vol.SetAttr(name, AttrTree, string(rawMeta)); err != nil {
+		return cleanup(err)
+	}
+	if err := vol.SetAttr(name, AttrLength, strconv.FormatInt(int64(meta.Length), 10)); err != nil {
+		return cleanup(err)
+	}
+	return nil
+}
+
+// IngestFast produces and loads the fast-forward and fast-backward
+// companion files for already-ingested content packets, linking them
+// to the normal-rate item so VCR speed switches find them.
+func IngestFast(vol msufs.Store, name, contentType string, pkts []media.Packet, every int) error {
+	if every <= 0 {
+		every = media.DefaultFilterEvery
+	}
+	if _, err := vol.Stat(name); err != nil {
+		return fmt.Errorf("msu: fast companions for unknown content %q: %w", name, err)
+	}
+	ff, err := media.FilterFast(pkts, every, false)
+	if err != nil {
+		return fmt.Errorf("msu: filtering %q forward: %w", name, err)
+	}
+	fb, err := media.FilterFast(pkts, every, true)
+	if err != nil {
+		return fmt.Errorf("msu: filtering %q backward: %w", name, err)
+	}
+	ffName, fbName := name+".ff", name+".fb"
+	if err := Ingest(vol, ffName, contentType, ff); err != nil {
+		return err
+	}
+	if err := Ingest(vol, fbName, contentType, fb); err != nil {
+		vol.Remove(ffName) //nolint:errcheck
+		return err
+	}
+	for _, link := range []struct{ k, v string }{
+		{AttrFastFwd, ffName},
+		{AttrFastBack, fbName},
+		{AttrEvery, strconv.Itoa(every)},
+	} {
+		if err := vol.SetAttr(name, link.k, link.v); err != nil {
+			return err
+		}
+	}
+	for _, n := range []string{ffName, fbName} {
+		if err := vol.SetAttr(n, AttrFastRole, "companion"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBack scans ingested or recorded content into memory — the
+// offline half of the fast-scan filter pipeline (read the recorded
+// stream, filter, re-load) and a convenient test hook.
+func ReadBack(vol msufs.Store, name string) ([]media.Packet, error) {
+	file, err := vol.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := treeFromAttrs(file, vol.BlockSize())
+	if err != nil {
+		return nil, err
+	}
+	cur, err := tree.Begin()
+	if err != nil {
+		return nil, err
+	}
+	var out []media.Packet
+	for {
+		pkt, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if pkt == nil {
+			return out, nil
+		}
+		ch, payload, err := protocol.DecodeStored(pkt.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if ch != protocol.Data {
+			continue // control traffic is not media
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		out = append(out, media.Packet{Time: pkt.Time, Payload: cp})
+	}
+}

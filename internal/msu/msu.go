@@ -1,0 +1,404 @@
+// Package msu implements Calliope's Multimedia Storage Unit (§2.3).
+//
+// An MSU is the real-time component: it records and plays multimedia
+// data, manages its disks through the user-level file system
+// (internal/msufs) with IB-tree content files (internal/ibtree), and
+// processes VCR commands arriving on a per-group TCP control
+// connection it opens to the client. A central handler takes RPCs from
+// the Coordinator; per-stream disk and network goroutines — the
+// analogue of the paper's per-device processes — move data through a
+// lock-free shared-memory queue (internal/queue) with double
+// buffering. MSUs never talk to each other.
+//
+// On startup (and after any disconnection) the MSU registers with the
+// Coordinator, reporting its disks, free space, and stored content;
+// this is the recovery half of the paper's fault-tolerance story.
+package msu
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/ibtree"
+	"calliope/internal/msufs"
+	"calliope/internal/protocol"
+	"calliope/internal/units"
+	"calliope/internal/wire"
+)
+
+// Attribute keys on content files.
+const (
+	AttrType     = "content-type"
+	AttrTree     = "ibtree"
+	AttrLength   = "length"
+	AttrFastFwd  = "fastfwd"
+	AttrFastBack = "fastback"
+	AttrFastRole = "fast-role"
+	AttrEvery    = "fast-every"
+)
+
+// Config configures an MSU.
+type Config struct {
+	ID          core.MSUID
+	Coordinator string // Coordinator TCP address
+	// Host is the IP the MSU's UDP sockets bind/advertise on.
+	Host string
+	// Volumes are the MSU's disks, one volume per disk, already
+	// formatted or mounted.
+	Volumes []*msufs.Volume
+	// Striped lays content across all volumes round-robin (§2.3.3's
+	// alternative layout): the MSU then advertises one logical disk
+	// whose capacity and bandwidth are the sum of its members.
+	Striped bool
+	// Registry supplies protocol extension modules; nil selects
+	// protocol.Default.
+	Registry *protocol.Registry
+	// DiskBandwidth is the per-disk delivery budget advertised to the
+	// Coordinator. Zero lets the Coordinator pick its default.
+	DiskBandwidth units.BitRate
+	// ReconnectInterval paces re-registration attempts after the
+	// Coordinator connection drops.
+	ReconnectInterval time.Duration
+	// Logger receives operational messages; nil disables logging.
+	Logger *log.Logger
+}
+
+// MSU is the storage-unit server.
+type MSU struct {
+	cfg Config
+	// stores are the logical disks: one per volume, or a single
+	// striped store over all volumes.
+	stores []msufs.Store
+
+	mu      sync.Mutex
+	peer    *wire.Peer
+	streams map[core.StreamID]*stream
+	groups  map[uint64]*group
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// New builds an MSU.
+func New(cfg Config) (*MSU, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("msu: config needs an ID")
+	}
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("msu: config needs a Coordinator address")
+	}
+	if len(cfg.Volumes) == 0 {
+		return nil, fmt.Errorf("msu: config needs at least one volume")
+	}
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = protocol.Default
+	}
+	if cfg.ReconnectInterval <= 0 {
+		cfg.ReconnectInterval = 500 * time.Millisecond
+	}
+	var stores []msufs.Store
+	if cfg.Striped && len(cfg.Volumes) > 1 {
+		set, err := msufs.NewStripeSet(cfg.Volumes...)
+		if err != nil {
+			return nil, err
+		}
+		stores = []msufs.Store{msufs.NewStripedStore(set)}
+	} else {
+		for _, v := range cfg.Volumes {
+			stores = append(stores, msufs.NewStore(v))
+		}
+	}
+	return &MSU{
+		cfg:     cfg,
+		stores:  stores,
+		streams: make(map[core.StreamID]*stream),
+		groups:  make(map[uint64]*group),
+	}, nil
+}
+
+// Start connects to the Coordinator and begins serving. It keeps
+// reconnecting until Close.
+func (m *MSU) Start() error {
+	// First registration is synchronous so callers know the MSU is
+	// live; later reconnections happen in the background.
+	if err := m.connectOnce(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close stops the MSU and all its streams.
+func (m *MSU) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	peer := m.peer
+	groups := make([]*group, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.mu.Unlock()
+	for _, g := range groups {
+		g.quit("msu shutdown")
+	}
+	if peer != nil {
+		peer.Close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+func (m *MSU) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf("msu %s: "+format, append([]any{m.cfg.ID}, args...)...)
+	}
+}
+
+// connectOnce dials and registers with the Coordinator.
+func (m *MSU) connectOnce() error {
+	conn, err := net.Dial("tcp", m.cfg.Coordinator)
+	if err != nil {
+		return fmt.Errorf("msu: dialing coordinator: %w", err)
+	}
+	peer := wire.NewPeer(conn, m.handle, func(error) { m.reconnect() })
+	hello, err := m.buildHello()
+	if err != nil {
+		peer.Close()
+		return err
+	}
+	if err := peer.Call(wire.TypeMSUHello, hello, &wire.MSUWelcome{}); err != nil {
+		peer.Close()
+		return fmt.Errorf("msu: registering: %w", err)
+	}
+	m.mu.Lock()
+	m.peer = peer
+	m.mu.Unlock()
+	m.logf("registered with coordinator at %s", m.cfg.Coordinator)
+	return nil
+}
+
+// reconnect re-registers after the Coordinator connection drops —
+// "When the MSU becomes available again, it contacts the Coordinator
+// and is restored to the scheduling database" (§2.2).
+func (m *MSU) reconnect() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.peer = nil
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			time.Sleep(m.cfg.ReconnectInterval)
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			if err := m.connectOnce(); err == nil {
+				return
+			}
+		}
+	}()
+}
+
+// buildHello assembles the registration message from the volumes.
+func (m *MSU) buildHello() (*wire.MSUHello, error) {
+	hello := &wire.MSUHello{ID: m.cfg.ID}
+	for _, store := range m.stores {
+		di := wire.DiskInfo{
+			BlockSize:   store.BlockSize(),
+			TotalBlocks: store.TotalBlocks(),
+			FreeBlocks:  store.FreeBlocks(),
+			// A striped logical disk aggregates its members' delivery
+			// bandwidth.
+			Bandwidth: m.cfg.DiskBandwidth * units.BitRate(store.Width()),
+		}
+		for _, fi := range store.List() {
+			typ := fi.Attrs[AttrType]
+			if typ == "" || fi.Attrs[AttrFastRole] != "" {
+				continue // not content, or a fast-scan companion
+			}
+			length, _ := strconv.ParseInt(fi.Attrs[AttrLength], 10, 64)
+			di.Contents = append(di.Contents, wire.ContentDecl{
+				Name:    fi.Name,
+				Type:    typ,
+				Length:  time.Duration(length),
+				Size:    units.ByteSize(fi.Size),
+				HasFast: fi.Attrs[AttrFastFwd] != "" || fi.Attrs[AttrFastBack] != "",
+			})
+		}
+		hello.Disks = append(hello.Disks, di)
+	}
+	return hello, nil
+}
+
+// notifyCoordinator sends a notification, tolerating a down link (the
+// reconnect path re-registers state).
+func (m *MSU) notifyCoordinator(msgType string, v any) {
+	m.mu.Lock()
+	peer := m.peer
+	m.mu.Unlock()
+	if peer == nil {
+		return
+	}
+	peer.Notify(msgType, v) //nolint:errcheck // link loss handled by reconnect
+}
+
+// handle serves Coordinator RPCs.
+func (m *MSU) handle(msgType string, body json.RawMessage) (any, error) {
+	switch msgType {
+	case wire.TypeStartStream:
+		var req wire.StartStream
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+		}
+		return m.startStream(req.Spec)
+	case wire.TypeStopStream:
+		var req wire.StopStream
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+		}
+		m.stopStream(req.Stream, "coordinator stop")
+		return nil, nil
+	case wire.TypeDeleteContent:
+		var req wire.DeleteContent
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+		}
+		return nil, m.deleteContent(req.Content)
+	default:
+		return nil, fmt.Errorf("%w: unknown message %q", core.ErrBadRequest, msgType)
+	}
+}
+
+// deleteContent removes an item and its fast-scan companions.
+func (m *MSU) deleteContent(name string) error {
+	m.mu.Lock()
+	for _, s := range m.streams {
+		if s.spec.Content == name {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %q", core.ErrContentInUse, name)
+		}
+	}
+	m.mu.Unlock()
+	for _, store := range m.stores {
+		st, err := store.Stat(name)
+		if err != nil {
+			continue
+		}
+		for _, companion := range []string{st.Attrs[AttrFastFwd], st.Attrs[AttrFastBack]} {
+			if companion != "" {
+				store.Remove(companion) //nolint:errcheck // best effort
+			}
+		}
+		return store.Remove(name)
+	}
+	return fmt.Errorf("%w: %q", core.ErrNoSuchContent, name)
+}
+
+// startStream admits one stream (play or record) and attaches it to
+// its group.
+func (m *MSU) startStream(spec core.StreamSpec) (*wire.StartStreamOK, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Disk >= len(m.stores) {
+		return nil, fmt.Errorf("%w: disk %d of %d", core.ErrBadRequest, spec.Disk, len(m.stores))
+	}
+	vol := m.stores[spec.Disk]
+
+	var s *stream
+	var resp *wire.StartStreamOK
+	var err error
+	if spec.Record {
+		s, resp, err = m.newRecordStream(spec, vol)
+	} else {
+		s, err = m.newPlayStream(spec, vol)
+		resp = &wire.StartStreamOK{}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		s.teardown()
+		return nil, core.ErrSessionClosed
+	}
+	if _, dup := m.streams[spec.Stream]; dup {
+		m.mu.Unlock()
+		s.teardown()
+		return nil, fmt.Errorf("%w: stream %d", core.ErrDuplicateName, spec.Stream)
+	}
+	g := m.groups[spec.Group]
+	if g == nil {
+		g = newGroup(m, spec.Group, spec.GroupSize, spec.ClientTCP)
+		m.groups[spec.Group] = g
+	}
+	m.streams[spec.Stream] = s
+	s.group = g
+	complete := g.addMember(s)
+	m.mu.Unlock()
+
+	if complete {
+		if err := g.connectClient(); err != nil {
+			m.logf("group %d: client control connection failed: %v", spec.Group, err)
+			g.quit("client unreachable")
+			return nil, fmt.Errorf("msu: connecting client control: %w", err)
+		}
+	}
+	m.logf("stream %d (%s %q) started", spec.Stream, map[bool]string{true: "record", false: "play"}[spec.Record], spec.Content)
+	return resp, nil
+}
+
+// stopStream force-terminates one stream's whole group.
+func (m *MSU) stopStream(id core.StreamID, cause string) {
+	m.mu.Lock()
+	s := m.streams[id]
+	m.mu.Unlock()
+	if s == nil || s.group == nil {
+		return
+	}
+	s.group.quit(cause)
+}
+
+// dropGroup forgets a finished group and its members.
+func (m *MSU) dropGroup(g *group) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range g.members {
+		delete(m.streams, s.spec.Stream)
+	}
+	delete(m.groups, g.id)
+}
+
+// treeFromAttrs opens the IB-tree described by a file's attributes.
+func treeFromAttrs(file msufs.StoreFile, blockSize int) (*ibtree.Tree, error) {
+	raw, ok := file.Attrs()[AttrTree]
+	if !ok {
+		return nil, fmt.Errorf("msu: %q has no ibtree metadata", file.Name())
+	}
+	var meta ibtree.Meta
+	if err := json.Unmarshal([]byte(raw), &meta); err != nil {
+		return nil, fmt.Errorf("msu: %q ibtree metadata: %w", file.Name(), err)
+	}
+	return ibtree.Open(file, blockSize, meta)
+}

@@ -1,0 +1,459 @@
+package msu
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/ibtree"
+	"calliope/internal/media"
+	"calliope/internal/msufs"
+	"calliope/internal/protocol"
+	"calliope/internal/queue"
+)
+
+// stream is one active play or record stream on the MSU.
+type stream struct {
+	m     *MSU
+	spec  core.StreamSpec
+	vol   msufs.Store
+	group *group
+
+	// Playback state.
+	tree     *ibtree.Tree
+	length   time.Duration
+	every    int // fast-scan filter interval
+	ffName   string
+	fbName   string
+	dataConn *net.UDPConn
+	ctrlConn *net.UDPConn
+
+	mu     sync.Mutex
+	speed  core.Speed
+	pos    time.Duration // position in normal-rate coordinates
+	player *player
+	eof    bool
+
+	// Recording state.
+	rec *recorder
+}
+
+// newPlayStream opens content and the client-facing sockets; delivery
+// starts when the group's control connection is up (begin).
+func (m *MSU) newPlayStream(spec core.StreamSpec, vol msufs.Store) (*stream, error) {
+	file, err := vol.Open(spec.Content)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", core.ErrNoSuchContent, spec.Content)
+	}
+	tree, err := treeFromAttrs(file, vol.BlockSize())
+	if err != nil {
+		return nil, err
+	}
+	attrs := file.Attrs()
+	length := tree.Length()
+	if raw, ok := attrs[AttrLength]; ok {
+		if ns, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			length = time.Duration(ns)
+		}
+	}
+	every := media.DefaultFilterEvery
+	if raw, ok := attrs[AttrEvery]; ok {
+		if n, err := strconv.Atoi(raw); err == nil && n > 0 {
+			every = n
+		}
+	}
+	s := &stream{
+		m:      m,
+		spec:   spec,
+		vol:    vol,
+		tree:   tree,
+		length: length,
+		every:  every,
+		ffName: attrs[AttrFastFwd],
+		fbName: attrs[AttrFastBack],
+		speed:  core.Normal,
+	}
+	dest, err := net.ResolveUDPAddr("udp", spec.DestAddr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: data address %q: %v", core.ErrBadRequest, spec.DestAddr, err)
+	}
+	s.dataConn, err = net.DialUDP("udp", nil, dest)
+	if err != nil {
+		return nil, fmt.Errorf("msu: opening data socket: %w", err)
+	}
+	if spec.CtrlAddr != "" {
+		caddr, err := net.ResolveUDPAddr("udp", spec.CtrlAddr)
+		if err != nil {
+			s.dataConn.Close()
+			return nil, fmt.Errorf("%w: control address %q: %v", core.ErrBadRequest, spec.CtrlAddr, err)
+		}
+		s.ctrlConn, err = net.DialUDP("udp", nil, caddr)
+		if err != nil {
+			s.dataConn.Close()
+			return nil, fmt.Errorf("msu: opening control socket: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// begin starts delivery (or recording) once the group is connected.
+func (s *stream) begin() error {
+	if s.spec.Record {
+		return nil // recorders run as soon as packets arrive
+	}
+	return s.playAt(core.Normal, 0)
+}
+
+// teardown stops all activity and closes sockets.
+func (s *stream) teardown() {
+	s.stopPlayer()
+	if s.rec != nil {
+		s.rec.stop()
+	}
+	if s.dataConn != nil {
+		s.dataConn.Close()
+	}
+	if s.ctrlConn != nil {
+		s.ctrlConn.Close()
+	}
+}
+
+// position reports the stream's normal-rate position.
+func (s *stream) position() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
+}
+
+func (s *stream) speedName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.speed.String()
+}
+
+func (s *stream) atEOF() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eof
+}
+
+// stopPlayer cancels the current delivery goroutines and waits for
+// them to drain.
+func (s *stream) stopPlayer() {
+	s.mu.Lock()
+	p := s.player
+	s.player = nil
+	s.mu.Unlock()
+	if p != nil {
+		p.stop()
+	}
+}
+
+// pause halts delivery, keeping the position (§2.1 VCR).
+func (s *stream) pause() error {
+	if s.spec.Record {
+		return fmt.Errorf("%w: cannot pause a recording", core.ErrBadRequest)
+	}
+	s.stopPlayer()
+	return nil
+}
+
+// resume restarts normal-rate delivery from the current position.
+func (s *stream) resume() error {
+	if s.spec.Record {
+		return fmt.Errorf("%w: cannot resume a recording", core.ErrBadRequest)
+	}
+	s.stopPlayer()
+	s.mu.Lock()
+	pos := s.pos
+	s.mu.Unlock()
+	if s.group != nil {
+		s.group.clearEOF()
+	}
+	return s.playAt(core.Normal, pos)
+}
+
+// seek repositions the stream, staying at the current speed.
+func (s *stream) seek(pos time.Duration) error {
+	if s.spec.Record {
+		return fmt.Errorf("%w: cannot seek a recording", core.ErrBadRequest)
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > s.length {
+		pos = s.length
+	}
+	s.stopPlayer()
+	s.mu.Lock()
+	speed := s.speed
+	s.pos = pos
+	s.mu.Unlock()
+	if s.group != nil {
+		s.group.clearEOF()
+	}
+	return s.playAt(speed, pos)
+}
+
+// setSpeed switches to the fast-forward or fast-backward companion
+// file at the position corresponding to the current frame (§2.3.1).
+func (s *stream) setSpeed(sp core.Speed) error {
+	if s.spec.Record {
+		return fmt.Errorf("%w: cannot scan a recording", core.ErrBadRequest)
+	}
+	s.stopPlayer()
+	s.mu.Lock()
+	pos := s.pos
+	s.mu.Unlock()
+	if s.group != nil {
+		s.group.clearEOF()
+	}
+	return s.playAt(sp, pos)
+}
+
+// fastTree lazily opens a fast-scan companion file.
+func (s *stream) fastTree(name string) (*ibtree.Tree, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: %q", core.ErrNoFastFile, s.spec.Content)
+	}
+	file, err := s.vol.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: companion %q: %v", core.ErrNoFastFile, name, err)
+	}
+	return treeFromAttrs(file, s.vol.BlockSize())
+}
+
+// playAt launches delivery at the given speed from the given
+// normal-rate position.
+func (s *stream) playAt(sp core.Speed, normalPos time.Duration) error {
+	var tree *ibtree.Tree
+	var treePos time.Duration
+	switch sp {
+	case core.Normal:
+		tree = s.tree
+		treePos = normalPos
+	case core.FastForward:
+		t, err := s.fastTree(s.ffName)
+		if err != nil {
+			return err
+		}
+		tree = t
+		treePos = media.MapPosition(normalPos, s.every, true)
+	case core.FastBackward:
+		t, err := s.fastTree(s.fbName)
+		if err != nil {
+			return err
+		}
+		tree = t
+		treePos = media.MapPositionBackward(normalPos, s.length, s.every)
+	default:
+		return fmt.Errorf("%w: speed %v", core.ErrBadRequest, sp)
+	}
+	p := &player{
+		s:        s,
+		tree:     tree,
+		speed:    sp,
+		startPos: treePos,
+		cancel:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.speed = sp
+	s.pos = normalPos
+	s.eof = false
+	s.player = p
+	s.mu.Unlock()
+	p.start()
+	return nil
+}
+
+// updatePos converts a tree-file delivery time to a normal-rate
+// position and stores it.
+func (s *stream) updatePos(sp core.Speed, treeTime time.Duration) {
+	var pos time.Duration
+	switch sp {
+	case core.FastForward:
+		pos = media.MapPosition(treeTime, s.every, false)
+	case core.FastBackward:
+		pos = s.length - treeTime*time.Duration(s.every)
+		if pos < 0 {
+			pos = 0
+		}
+	default:
+		pos = treeTime
+	}
+	s.mu.Lock()
+	s.pos = pos
+	s.mu.Unlock()
+}
+
+// playerEOF marks end-of-content.
+func (s *stream) playerEOF(p *player) {
+	s.mu.Lock()
+	if s.player != p {
+		s.mu.Unlock()
+		return // superseded by a VCR command
+	}
+	s.eof = true
+	if p.speed == core.FastForward {
+		s.pos = s.length
+	} else if p.speed == core.FastBackward {
+		s.pos = 0
+	}
+	s.mu.Unlock()
+	if s.group != nil {
+		s.group.memberEOF(s)
+	}
+}
+
+// qItem flows through the shared-memory queue from the disk goroutine
+// to the network goroutine.
+type qItem struct {
+	t       time.Duration
+	ch      protocol.Channel
+	payload []byte
+	eof     bool
+}
+
+// player runs one delivery session: a disk goroutine feeding a
+// lock-free SPSC queue (the paper's shared-memory queue, §2.3) and a
+// network goroutine pacing packets onto the UDP sockets. Packet
+// buffers recycle through a pool, so the steady-state data path does
+// not allocate — the paper's MSU "does its own memory management".
+type player struct {
+	s        *stream
+	tree     *ibtree.Tree
+	speed    core.Speed
+	startPos time.Duration
+	cancel   chan struct{}
+	done     chan struct{}
+	pool     *queue.BufferPool
+}
+
+// queueDepth is the SPSC capacity between the disk and network sides.
+const queueDepth = 512
+
+// poolBufSize covers any stored packet (64 KB is the UDP maximum).
+const poolBufSize = 64 * 1024
+
+func (p *player) stop() {
+	close(p.cancel)
+	<-p.done
+}
+
+func (p *player) start() {
+	pool, err := queue.NewBufferPool(poolBufSize, queueDepth/4)
+	if err != nil { // impossible with the constants above
+		panic(err)
+	}
+	p.pool = pool
+	q := queue.NewSPSC[qItem](queueDepth)
+	diskDone := make(chan struct{})
+	go p.diskLoop(q, diskDone)
+	go p.netLoop(q, diskDone)
+}
+
+// diskLoop is the disk process: it reads packets in delivery order and
+// keeps the queue full (read-ahead / double buffering).
+func (p *player) diskLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
+	defer close(diskDone)
+	enqueue := func(it qItem) bool {
+		for {
+			if q.Enqueue(it) {
+				return true
+			}
+			select {
+			case <-p.cancel:
+				return false
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	cur, err := p.tree.SeekTime(p.startPos)
+	if err != nil {
+		p.s.m.logf("stream %d: seek: %v", p.s.spec.Stream, err)
+		enqueue(qItem{eof: true})
+		return
+	}
+	for {
+		select {
+		case <-p.cancel:
+			return
+		default:
+		}
+		pkt, err := cur.Next()
+		if err != nil {
+			p.s.m.logf("stream %d: read: %v", p.s.spec.Stream, err)
+			enqueue(qItem{eof: true})
+			return
+		}
+		if pkt == nil {
+			enqueue(qItem{eof: true})
+			return
+		}
+		ch, payload, err := protocol.DecodeStored(pkt.Payload)
+		if err != nil {
+			// Content predating the channel framing: treat as data.
+			ch, payload = protocol.Data, pkt.Payload
+		}
+		buf := p.pool.Get()
+		if len(payload) > len(buf) {
+			buf = make([]byte, len(payload))
+		}
+		n := copy(buf, payload)
+		if !enqueue(qItem{t: pkt.Time, ch: ch, payload: buf[:n]}) {
+			return
+		}
+	}
+}
+
+// netLoop is the network process: it dequeues packets and sends each
+// at its scheduled time relative to the session start.
+func (p *player) netLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
+	defer close(p.done)
+	epoch := time.Now()
+	for {
+		it, ok := q.Dequeue()
+		if !ok {
+			select {
+			case <-p.cancel:
+				return
+			case <-time.After(200 * time.Microsecond):
+				continue
+			}
+		}
+		if it.eof {
+			p.s.playerEOF(p)
+			// Stay parked until cancelled so stop() never blocks.
+			<-p.cancel
+			return
+		}
+		target := epoch.Add(it.t - p.startPos)
+		if d := time.Until(target); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-p.cancel:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		conn := p.s.dataConn
+		if it.ch == protocol.Control && p.s.ctrlConn != nil {
+			conn = p.s.ctrlConn
+		}
+		if _, err := conn.Write(it.payload); err != nil {
+			select {
+			case <-p.cancel: // socket closed by teardown
+				return
+			default:
+			}
+			p.s.m.logf("stream %d: send: %v", p.s.spec.Stream, err)
+		}
+		p.pool.Put(it.payload)
+		p.s.updatePos(p.speed, it.t)
+	}
+}

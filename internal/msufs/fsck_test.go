@@ -1,0 +1,118 @@
+package msufs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"calliope/internal/blockdev"
+	"calliope/internal/units"
+)
+
+func TestFsckCleanVolume(t *testing.T) {
+	v := testVolume(t, 8)
+	f, _ := v.Create("a", 3*64*1024, nil)
+	f.WriteBlock(0, make([]byte, 100)) //nolint:errcheck
+	f.Commit()                         //nolint:errcheck
+	v.Create("b", 64*1024, nil)        //nolint:errcheck
+	if issues := v.Fsck(); len(issues) != 0 {
+		t.Fatalf("clean volume has issues: %v", issues)
+	}
+}
+
+func TestFsckDetectsOverlap(t *testing.T) {
+	v := testVolume(t, 8)
+	v.Create("a", 3*64*1024, nil) //nolint:errcheck
+	v.Create("b", 3*64*1024, nil) //nolint:errcheck
+	// Corrupt: make b's extent overlap a's.
+	v.files["b"].Extents[0].Start = v.files["a"].Extents[0].Start + 1
+	issues := v.Fsck()
+	if len(issues) == 0 {
+		t.Fatal("overlap not detected")
+	}
+	found := false
+	for _, i := range issues {
+		if i.File == "b" || i.File == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overlap issue missing: %v", issues)
+	}
+}
+
+func TestFsckDetectsOutOfBounds(t *testing.T) {
+	v := testVolume(t, 8)
+	v.Create("a", 64*1024, nil) //nolint:errcheck
+	v.files["a"].Extents = append(v.files["a"].Extents, Extent{Start: v.nblocks + 5, Count: 2})
+	issues := v.Fsck()
+	if len(issues) == 0 {
+		t.Fatal("out-of-bounds extent not detected")
+	}
+	if issues[0].String() == "" {
+		t.Fatal("empty issue description")
+	}
+}
+
+func TestFsckDetectsSizeBeyondAllocation(t *testing.T) {
+	v := testVolume(t, 8)
+	v.Create("a", 64*1024, nil) //nolint:errcheck
+	v.files["a"].Size = 10 * 64 * 1024
+	if issues := v.Fsck(); len(issues) == 0 {
+		t.Fatal("oversized file not detected")
+	}
+}
+
+func TestFsckDetectsAccountingDrift(t *testing.T) {
+	v := testVolume(t, 8)
+	v.Create("a", 3*64*1024, nil) //nolint:errcheck
+	// Lose a free extent behind the allocator's back.
+	v.freeByLen = v.freeByLen[:0]
+	if issues := v.Fsck(); len(issues) == 0 {
+		t.Fatal("accounting drift not detected")
+	}
+}
+
+// Property: volumes produced by arbitrary create/write/remove/commit
+// sequences always pass Fsck.
+func TestFsckAlwaysCleanAfterNormalOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		dev, _ := blockdev.NewMem(8 * int64(units.MB))
+		v, err := Format(dev, Options{BlockSize: 64 * 1024, MetaSize: 256 * 1024})
+		if err != nil {
+			return false
+		}
+		live := map[string]*File{}
+		seq := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				name := fmt.Sprintf("f%d", seq)
+				seq++
+				if fl, err := v.Create(name, int64(op%7)*64*1024, nil); err == nil {
+					live[name] = fl
+				}
+			case 1:
+				for _, fl := range live {
+					fl.WriteBlock(int64(op%9), make([]byte, int(op%2000)+1)) //nolint:errcheck
+					break
+				}
+			case 2:
+				for name := range live {
+					v.Remove(name) //nolint:errcheck
+					delete(live, name)
+					break
+				}
+			case 3:
+				for _, fl := range live {
+					fl.Commit() //nolint:errcheck
+					break
+				}
+			}
+		}
+		return len(v.Fsck()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

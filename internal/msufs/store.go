@@ -1,0 +1,120 @@
+package msufs
+
+// Store abstracts one *logical* disk as the MSU sees it: either a
+// single Volume (the paper's layout — every file on one disk) or a
+// StripeSet (the §2.3.3 alternative — consecutive blocks on adjacent
+// disks). The MSU's play/record/ingest paths run identically over
+// both, which is what makes the striping trade-off measurable.
+type Store interface {
+	BlockSize() int
+	TotalBlocks() int64
+	FreeBlocks() int64
+	Create(name string, reserveBytes int64, attrs map[string]string) (StoreFile, error)
+	Open(name string) (StoreFile, error)
+	Remove(name string) error
+	Stat(name string) (FileInfo, error)
+	SetAttr(name, key, value string) error
+	List() []FileInfo
+	// Width reports the number of physical disks behind the store.
+	Width() int
+}
+
+// StoreFile is a file within a Store. It satisfies ibtree.BlockFile.
+type StoreFile interface {
+	Name() string
+	Size() int64
+	WriteBlock(i int64, p []byte) error
+	ReadBlock(i int64, p []byte) error
+	BlockLen(i int64) int
+	Commit() error
+	Attrs() map[string]string
+}
+
+// volumeStore adapts a single Volume.
+type volumeStore struct{ v *Volume }
+
+// NewStore wraps one volume as a logical disk.
+func NewStore(v *Volume) Store { return volumeStore{v} }
+
+func (s volumeStore) BlockSize() int     { return s.v.BlockSize() }
+func (s volumeStore) TotalBlocks() int64 { return s.v.TotalBlocks() }
+func (s volumeStore) FreeBlocks() int64  { return s.v.FreeBlocks() }
+func (s volumeStore) Width() int         { return 1 }
+func (s volumeStore) Create(name string, reserveBytes int64, attrs map[string]string) (StoreFile, error) {
+	return s.v.Create(name, reserveBytes, attrs)
+}
+func (s volumeStore) Open(name string) (StoreFile, error)   { return s.v.Open(name) }
+func (s volumeStore) Remove(name string) error              { return s.v.Remove(name) }
+func (s volumeStore) Stat(name string) (FileInfo, error)    { return s.v.Stat(name) }
+func (s volumeStore) SetAttr(name, key, value string) error { return s.v.SetAttr(name, key, value) }
+func (s volumeStore) List() []FileInfo                      { return s.v.List() }
+
+// stripeStore adapts a StripeSet.
+type stripeStore struct{ s *StripeSet }
+
+// NewStripedStore wraps a stripe set as one logical disk.
+func NewStripedStore(s *StripeSet) Store { return stripeStore{s} }
+
+func (s stripeStore) BlockSize() int { return s.s.BlockSize() }
+func (s stripeStore) Width() int     { return s.s.Width() }
+
+func (s stripeStore) TotalBlocks() int64 {
+	var n int64
+	for _, v := range s.s.vols {
+		n += v.TotalBlocks()
+	}
+	return n
+}
+
+func (s stripeStore) FreeBlocks() int64 {
+	var n int64
+	for _, v := range s.s.vols {
+		n += v.FreeBlocks()
+	}
+	return n
+}
+
+func (s stripeStore) Create(name string, reserveBytes int64, attrs map[string]string) (StoreFile, error) {
+	return s.s.Create(name, reserveBytes, attrs)
+}
+func (s stripeStore) Open(name string) (StoreFile, error) { return s.s.Open(name) }
+func (s stripeStore) Remove(name string) error            { return s.s.Remove(name) }
+
+// Stat reports logical file info: attributes from the anchor volume,
+// size from the stripe, blocks summed across volumes.
+func (s stripeStore) Stat(name string) (FileInfo, error) {
+	fi, err := s.s.vols[0].Stat(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	f, err := s.s.Open(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	fi.Size = f.Size()
+	var blocks int64
+	for _, v := range s.s.vols {
+		if st, err := v.Stat(name); err == nil {
+			blocks += st.Blocks
+		}
+	}
+	fi.Blocks = blocks
+	return fi, nil
+}
+
+func (s stripeStore) SetAttr(name, key, value string) error {
+	return s.s.vols[0].SetAttr(name, key, value)
+}
+
+// List enumerates the stripe's files via the anchor volume (which
+// holds the attributes), with logical sizes.
+func (s stripeStore) List() []FileInfo {
+	base := s.s.vols[0].List()
+	out := make([]FileInfo, 0, len(base))
+	for _, fi := range base {
+		if full, err := s.Stat(fi.Name); err == nil {
+			out = append(out, full)
+		}
+	}
+	return out
+}

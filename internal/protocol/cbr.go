@@ -1,0 +1,37 @@
+package protocol
+
+import (
+	"fmt"
+	"time"
+)
+
+// The raw constant-bit-rate module covers "any protocol and/or encoding
+// which can be handled by transmitting fixed sized packets at a
+// constant rate" (§2.3.2) — e.g. raw MPEG over UDP to a dumb set-top
+// box. Its delivery schedule is calculated, not stored or parsed: the
+// n-th byte is due at n*8/rate seconds (§2.2.1: "For constant bit-rate
+// streams, the delivery schedule is calculated rather than stored").
+
+type cbrExt struct {
+	rate  float64 // bytes per second
+	bytes int64   // bytes scheduled so far
+}
+
+// NewCBR builds the constant-rate module; cfg.Rate is required.
+func NewCBR(cfg Config) (Extension, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("%w: cbr module needs a positive rate", ErrBadConfig)
+	}
+	return &cbrExt{rate: cfg.Rate.BytesPerSecond()}, nil
+}
+
+func (e *cbrExt) Name() string            { return "cbr" }
+func (e *cbrExt) HasControlChannel() bool { return false }
+
+// DeliveryTime ignores both packet contents and arrival time: the
+// schedule is purely positional.
+func (e *cbrExt) DeliveryTime(payload []byte, _ time.Duration) (time.Duration, error) {
+	t := time.Duration(float64(e.bytes) / e.rate * float64(time.Second))
+	e.bytes += int64(len(payload))
+	return t, nil
+}

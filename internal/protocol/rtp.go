@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// RTP support, after the Internet Real-time Transport Protocol the
+// paper cites (Schulzrinne et al., draft-ietf-avt-rtp-07). Only the
+// fixed 12-byte header matters to the MSU: the module derives delivery
+// times from the sender's media timestamp, so stored schedules do not
+// inherit network-induced jitter (§2.3.2).
+
+// RTPHeaderLen is the fixed RTP header size (no CSRC list).
+const RTPHeaderLen = 12
+
+// rtpVersion is the RTP version field value (2).
+const rtpVersion = 2
+
+// DefaultRTPClockRate is the media clock for RTP video (90 kHz).
+const DefaultRTPClockRate = 90000
+
+// RTPHeader is the fixed part of an RTP packet header.
+type RTPHeader struct {
+	PayloadType byte
+	Marker      bool
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+}
+
+// EncodeRTP builds an RTP packet from a header and media payload.
+func EncodeRTP(h RTPHeader, payload []byte) []byte {
+	out := make([]byte, RTPHeaderLen+len(payload))
+	out[0] = rtpVersion << 6
+	out[1] = h.PayloadType & 0x7F
+	if h.Marker {
+		out[1] |= 0x80
+	}
+	binary.BigEndian.PutUint16(out[2:4], h.Seq)
+	binary.BigEndian.PutUint32(out[4:8], h.Timestamp)
+	binary.BigEndian.PutUint32(out[8:12], h.SSRC)
+	copy(out[RTPHeaderLen:], payload)
+	return out
+}
+
+// ParseRTP decodes an RTP packet; the returned payload aliases pkt.
+func ParseRTP(pkt []byte) (RTPHeader, []byte, error) {
+	if len(pkt) < RTPHeaderLen {
+		return RTPHeader{}, nil, fmt.Errorf("%w: rtp packet of %d bytes", ErrBadPacket, len(pkt))
+	}
+	if v := pkt[0] >> 6; v != rtpVersion {
+		return RTPHeader{}, nil, fmt.Errorf("%w: rtp version %d", ErrBadPacket, v)
+	}
+	h := RTPHeader{
+		PayloadType: pkt[1] & 0x7F,
+		Marker:      pkt[1]&0x80 != 0,
+		Seq:         binary.BigEndian.Uint16(pkt[2:4]),
+		Timestamp:   binary.BigEndian.Uint32(pkt[4:8]),
+		SSRC:        binary.BigEndian.Uint32(pkt[8:12]),
+	}
+	return h, pkt[RTPHeaderLen:], nil
+}
+
+type rtpExt struct {
+	clockRate  int
+	useArrival bool
+	haveFirst  bool
+	firstTS    uint32
+}
+
+// NewRTP builds the RTP extension module.
+func NewRTP(cfg Config) (Extension, error) {
+	rate := cfg.ClockRate
+	if rate == 0 {
+		rate = DefaultRTPClockRate
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("%w: negative clock rate", ErrBadConfig)
+	}
+	return &rtpExt{clockRate: rate, useArrival: cfg.UseArrivalTime}, nil
+}
+
+func (e *rtpExt) Name() string            { return "rtp" }
+func (e *rtpExt) HasControlChannel() bool { return true }
+
+// DeliveryTime maps the RTP media timestamp to an offset from the first
+// packet's timestamp. Unparseable packets fall back to arrival time.
+func (e *rtpExt) DeliveryTime(payload []byte, arrival time.Duration) (time.Duration, error) {
+	if e.useArrival {
+		return arrival, nil
+	}
+	h, _, err := ParseRTP(payload)
+	if err != nil {
+		return arrival, err
+	}
+	if !e.haveFirst {
+		e.haveFirst = true
+		e.firstTS = h.Timestamp
+	}
+	// Unsigned subtraction handles timestamp wraparound.
+	delta := h.Timestamp - e.firstTS
+	return time.Duration(delta) * time.Second / time.Duration(e.clockRate), nil
+}

@@ -1,0 +1,86 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// VAT support, after the LBL visual audio tool the paper cites. VAT's
+// wire format is a small header in front of audio samples; the module
+// reads its timestamp to build jitter-free delivery schedules for
+// audio, defaulting to the 8 kHz audio clock.
+
+// VATHeaderLen is the vat packet header size we implement: 4 bytes of
+// flags and a 4-byte media timestamp.
+const VATHeaderLen = 8
+
+// DefaultVATClockRate is the vat audio clock (8 kHz).
+const DefaultVATClockRate = 8000
+
+// VATHeader is the vat packet header.
+type VATHeader struct {
+	Flags     uint32
+	Timestamp uint32
+}
+
+// EncodeVAT builds a vat packet from a header and audio payload.
+func EncodeVAT(h VATHeader, payload []byte) []byte {
+	out := make([]byte, VATHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], h.Flags)
+	binary.BigEndian.PutUint32(out[4:8], h.Timestamp)
+	copy(out[VATHeaderLen:], payload)
+	return out
+}
+
+// ParseVAT decodes a vat packet; the returned payload aliases pkt.
+func ParseVAT(pkt []byte) (VATHeader, []byte, error) {
+	if len(pkt) < VATHeaderLen {
+		return VATHeader{}, nil, fmt.Errorf("%w: vat packet of %d bytes", ErrBadPacket, len(pkt))
+	}
+	h := VATHeader{
+		Flags:     binary.BigEndian.Uint32(pkt[0:4]),
+		Timestamp: binary.BigEndian.Uint32(pkt[4:8]),
+	}
+	return h, pkt[VATHeaderLen:], nil
+}
+
+type vatExt struct {
+	clockRate  int
+	useArrival bool
+	haveFirst  bool
+	firstTS    uint32
+}
+
+// NewVAT builds the VAT extension module.
+func NewVAT(cfg Config) (Extension, error) {
+	rate := cfg.ClockRate
+	if rate == 0 {
+		rate = DefaultVATClockRate
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("%w: negative clock rate", ErrBadConfig)
+	}
+	return &vatExt{clockRate: rate, useArrival: cfg.UseArrivalTime}, nil
+}
+
+func (e *vatExt) Name() string            { return "vat" }
+func (e *vatExt) HasControlChannel() bool { return false }
+
+// DeliveryTime maps the vat media timestamp to an offset from the first
+// packet's timestamp, falling back to arrival time on parse failure.
+func (e *vatExt) DeliveryTime(payload []byte, arrival time.Duration) (time.Duration, error) {
+	if e.useArrival {
+		return arrival, nil
+	}
+	h, _, err := ParseVAT(payload)
+	if err != nil {
+		return arrival, err
+	}
+	if !e.haveFirst {
+		e.haveFirst = true
+		e.firstTS = h.Timestamp
+	}
+	delta := h.Timestamp - e.firstTS
+	return time.Duration(delta) * time.Second / time.Duration(e.clockRate), nil
+}

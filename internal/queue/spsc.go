@@ -1,0 +1,182 @@
+// Package queue implements the MSU's inter-process communication
+// primitive: a lock-free single-producer/single-consumer ring queue.
+//
+// The paper (§2.3) says the MSU processes "communicate using a shared
+// memory queue structure that relies on the atomicity of memory read and
+// write instructions to produce atomic enqueue and dequeue operations"
+// instead of expensive semaphores. This package is the Go analogue:
+// exactly one goroutine enqueues and exactly one dequeues, coordinated
+// only by two atomic counters. A mutex-based equivalent is provided for
+// the ablation benchmark in DESIGN.md.
+package queue
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SPSC is a bounded lock-free single-producer/single-consumer queue.
+// Enqueue must be called from only one goroutine at a time, and Dequeue
+// from only one goroutine at a time (they may be different goroutines).
+// The zero value is not usable; call NewSPSC.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	// head is the next slot to dequeue, tail the next slot to fill.
+	// Only the consumer writes head; only the producer writes tail.
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewSPSC returns a queue with capacity rounded up to a power of two
+// (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap reports the queue's capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len reports the number of queued items. It is exact when called by
+// the producer or the consumer, and a snapshot otherwise.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Enqueue adds v and reports whether there was room. Producer-side only.
+func (q *SPSC[T]) Enqueue(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() == uint64(len(q.buf)) {
+		return false // full
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1) // publish after the slot is written
+	return true
+}
+
+// Dequeue removes and returns the oldest item. Consumer-side only.
+func (q *SPSC[T]) Dequeue() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false // empty
+	}
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero // release for GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Peek returns the oldest item without removing it. Consumer-side only.
+func (q *SPSC[T]) Peek() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false
+	}
+	return q.buf[head&q.mask], true
+}
+
+// Mutexed is a mutex-protected bounded FIFO with the same interface as
+// SPSC, used as the baseline in the lock-free-vs-mutex ablation bench.
+type Mutexed[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	head int
+	n    int
+}
+
+// NewMutexed returns a mutex-based queue of exactly the given capacity.
+func NewMutexed[T any](capacity int) *Mutexed[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Mutexed[T]{buf: make([]T, capacity)}
+}
+
+// Cap reports the queue's capacity.
+func (q *Mutexed[T]) Cap() int { return len(q.buf) }
+
+// Len reports the number of queued items.
+func (q *Mutexed[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Enqueue adds v and reports whether there was room.
+func (q *Mutexed[T]) Enqueue(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	return true
+}
+
+// Dequeue removes and returns the oldest item.
+func (q *Mutexed[T]) Dequeue() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// BufferPool recycles the MSU's large data buffers (256 KB by default)
+// between the disk and network processes without allocation on the data
+// path. It is the "leaky bucket" free-list pattern: Get allocates when
+// the pool is empty and Put drops buffers when it is full.
+type BufferPool struct {
+	size int
+	free chan []byte
+}
+
+// NewBufferPool returns a pool of count buffers of size bytes each.
+func NewBufferPool(size, count int) (*BufferPool, error) {
+	if size <= 0 || count <= 0 {
+		return nil, fmt.Errorf("queue: invalid buffer pool size %d x %d", size, count)
+	}
+	return &BufferPool{size: size, free: make(chan []byte, count)}, nil
+}
+
+// BufferSize reports the size of buffers in this pool.
+func (p *BufferPool) BufferSize() int { return p.size }
+
+// Get returns a full-length buffer, allocating if none is free.
+func (p *BufferPool) Get() []byte {
+	select {
+	case b := <-p.free:
+		return b[:p.size]
+	default:
+		return make([]byte, p.size)
+	}
+}
+
+// Put returns a buffer to the pool. Buffers of the wrong capacity and
+// overflow beyond the pool's bound are discarded.
+func (p *BufferPool) Put(b []byte) {
+	if cap(b) < p.size {
+		return
+	}
+	select {
+	case p.free <- b[:p.size]:
+	default:
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim is a deterministic discrete-event simulation engine.
+//
+// The benchmark harness replays the paper's 1996 testbed (disks, SCSI
+// buses, memory bus, FDDI interface) as an event-driven model; this
+// package supplies the engine: a simulated clock, an event queue with
+// stable FIFO ordering for simultaneous events, cancellable timers, and
+// a FIFO resource for modelling servers such as a SCSI bus or a disk
+// arm. Everything is single-goroutine and reproducible run to run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled until it fires.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when fired or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or has fired.
+func (ev *Event) Cancelled() bool { return ev.index == -1 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation clock and event queue. The zero value is
+// ready to use with Now() == 0.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute simulated time t. Scheduling in the past
+// panics: it is always a model bug.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn d from now. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already
+// cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// Step fires the next event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Resource is a single server with a FIFO queue: a SCSI bus, a disk
+// arm, a network interface's transmit path. Service time is computed
+// when service starts, so it may depend on state that changed while the
+// request queued (e.g. disk head position).
+type Resource struct {
+	eng   *Engine
+	busy  bool
+	queue []request
+	// Busy time accounting for utilization measurements.
+	busySince time.Duration
+	busyTotal time.Duration
+	served    int64
+}
+
+type request struct {
+	service func() time.Duration
+	done    func()
+}
+
+// NewResource returns an idle FIFO resource on the engine.
+func NewResource(eng *Engine) *Resource {
+	return &Resource{eng: eng}
+}
+
+// Submit queues a request. service is evaluated when the request
+// reaches the head of the queue; done fires when service completes.
+func (r *Resource) Submit(service func() time.Duration, done func()) {
+	r.queue = append(r.queue, request{service: service, done: done})
+	if !r.busy {
+		r.dispatch()
+	}
+}
+
+func (r *Resource) dispatch() {
+	if len(r.queue) == 0 {
+		return
+	}
+	req := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busy = true
+	r.busySince = r.eng.Now()
+	d := req.service()
+	if d < 0 {
+		d = 0
+	}
+	r.eng.After(d, func() {
+		r.busy = false
+		r.busyTotal += r.eng.Now() - r.busySince
+		r.served++
+		if req.done != nil {
+			req.done()
+		}
+		if !r.busy { // done may have submitted more work
+			r.dispatch()
+		}
+	})
+}
+
+// QueueLen reports the number of waiting (not in-service) requests.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Busy reports whether a request is in service.
+func (r *Resource) Busy() bool { return r.busy }
+
+// BusyTime reports accumulated service time (utilization numerator).
+func (r *Resource) BusyTime() time.Duration {
+	t := r.busyTotal
+	if r.busy {
+		t += r.eng.Now() - r.busySince
+	}
+	return t
+}
+
+// Served reports the number of completed requests.
+func (r *Resource) Served() int64 { return r.served }

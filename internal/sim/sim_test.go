@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("simultaneous events fired out of submission order: %v", order)
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.After(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.After(time.Second, func() { fired = true })
+	if ev.Cancelled() {
+		t.Fatal("fresh event reports cancelled")
+	}
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("cancelled event reports live")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.After(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(0, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []int
+	e.At(time.Second, func() { fired = append(fired, 1) })
+	e.At(3*time.Second, func() { fired = append(fired, 3) })
+	e.RunUntil(2 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired after Run = %v", fired)
+	}
+}
+
+func TestResourceFIFOService(t *testing.T) {
+	e := New()
+	r := NewResource(e)
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Submit(func() time.Duration { return 10 * time.Millisecond }, func() {
+			done = append(done, i)
+		})
+	}
+	if !r.Busy() {
+		t.Fatal("resource should be busy")
+	}
+	if r.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2", r.QueueLen())
+	}
+	e.Run()
+	if len(done) != 3 || done[0] != 0 || done[1] != 1 || done[2] != 2 {
+		t.Fatalf("completion order = %v", done)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms (serialized service)", e.Now())
+	}
+	if r.Served() != 3 {
+		t.Fatalf("Served() = %d", r.Served())
+	}
+	if r.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("BusyTime() = %v", r.BusyTime())
+	}
+}
+
+func TestResourceServiceTimeComputedAtDispatch(t *testing.T) {
+	e := New()
+	r := NewResource(e)
+	var sawTime time.Duration
+	r.Submit(func() time.Duration { return 5 * time.Millisecond }, nil)
+	r.Submit(func() time.Duration {
+		sawTime = e.Now() // should be 5ms, not 0
+		return time.Millisecond
+	}, nil)
+	e.Run()
+	if sawTime != 5*time.Millisecond {
+		t.Fatalf("second service computed at %v, want 5ms", sawTime)
+	}
+}
+
+func TestResourceResubmitFromDone(t *testing.T) {
+	e := New()
+	r := NewResource(e)
+	count := 0
+	var resubmit func()
+	resubmit = func() {
+		count++
+		if count < 5 {
+			r.Submit(func() time.Duration { return time.Millisecond }, resubmit)
+		}
+	}
+	r.Submit(func() time.Duration { return time.Millisecond }, resubmit)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", e.Now())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := New()
+	r := NewResource(e)
+	r.Submit(func() time.Duration { return 100 * time.Millisecond }, nil)
+	e.Run()
+	e.RunUntil(time.Second)
+	util := float64(r.BusyTime()) / float64(e.Now())
+	if util < 0.099 || util > 0.101 {
+		t.Fatalf("utilization = %v, want 0.1", util)
+	}
+}
+
+// Property: however events are scheduled, they always fire in
+// non-decreasing time order and the clock never goes backwards.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fireTimes []time.Duration
+		for _, d := range delays {
+			e.At(time.Duration(d)*time.Microsecond, func() {
+				fireTimes = append(fireTimes, e.Now())
+			})
+		}
+		e.Run()
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(fireTimes) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package simhw
+
+import (
+	"fmt"
+	"time"
+
+	"calliope/internal/units"
+)
+
+// This file reruns the paper's baseline measurement procedures (§3.1)
+// against the simulated machine:
+//
+//   - the disk program: "256 KByte reads of the raw disk device at
+//     random offsets", one blocking reader process per disk;
+//   - the network program: modified ttcp, back-to-back 4 KB UDP sends
+//     stepping through a large buffer (the send path never touches the
+//     data);
+//   - the §3.2.3 disk-less path: a process writing constant values
+//     into memory buffers while ttcp sends at the same rate;
+//   - the §2.3.3 scheduling probe: 24 concurrent readers of random
+//     256 KB blocks under round-robin vs elevator service.
+
+// BaselineResult reports one Table 1 cell group in the paper's units
+// (10^6 bytes/sec).
+type BaselineResult struct {
+	FDDI  float64   // MB/s sent, 0 if the FDDI worker was off
+	Disks []float64 // MB/s read per disk
+}
+
+// mbps converts bytes moved in dur to the paper's 10^6 B/s unit.
+func mbps(bytes int64, dur time.Duration) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / dur.Seconds()
+}
+
+// startDiskReader launches a blocking-read loop on d: the baseline disk
+// program issuing one random 256 KB read after another.
+func startDiskReader(m *Machine, d *Disk, blockSize units.ByteSize) {
+	var loop func()
+	loop = func() {
+		block := m.rng.Int63n(m.cfg.DiskBlocks)
+		d.Read(block, blockSize, loop)
+	}
+	loop()
+}
+
+// startNICSender launches the ttcp loop: back-to-back packet sends.
+func startNICSender(m *Machine, pktSize units.ByteSize) {
+	var loop func()
+	loop = func() { m.nic.Send(pktSize, loop) }
+	loop()
+}
+
+// RunBaseline reruns one Table 1 row. diskHBA maps each disk to an HBA
+// index (e.g. []int{0,0,1} = two disks on the first chain, one on the
+// second); withFDDI adds the ttcp sender.
+func RunBaseline(cfg Config, diskHBA []int, withFDDI bool, dur time.Duration) (BaselineResult, error) {
+	if dur <= 0 {
+		return BaselineResult{}, fmt.Errorf("simhw: non-positive duration %v", dur)
+	}
+	m := NewMachine(cfg)
+	nhba := 0
+	for _, h := range diskHBA {
+		if h < 0 {
+			return BaselineResult{}, fmt.Errorf("simhw: negative HBA index %d", h)
+		}
+		if h+1 > nhba {
+			nhba = h + 1
+		}
+	}
+	hbas := make([]*HBA, nhba)
+	for i := range hbas {
+		hbas[i] = m.AddHBA()
+	}
+	disks := make([]*Disk, len(diskHBA))
+	for i, h := range diskHBA {
+		disks[i] = m.AddDisk(hbas[h])
+	}
+	for _, d := range disks {
+		startDiskReader(m, d, 256*units.KB)
+	}
+	if withFDDI {
+		startNICSender(m, 4*units.KB)
+	}
+	m.Eng.RunUntil(dur)
+
+	res := BaselineResult{Disks: make([]float64, len(disks))}
+	if withFDDI {
+		res.FDDI = mbps(m.nic.BytesSent, dur)
+	}
+	for i, d := range disks {
+		res.Disks[i] = mbps(d.BytesDone, dur)
+	}
+	return res, nil
+}
+
+// Table1Row describes one row of Table 1.
+type Table1Row struct {
+	Label   string
+	DiskHBA []int
+}
+
+// Table1Rows are the paper's configurations in the paper's order.
+func Table1Rows() []Table1Row {
+	return []Table1Row{
+		{Label: "0 disk", DiskHBA: nil},
+		{Label: "1 disk (one HBA)", DiskHBA: []int{0}},
+		{Label: "2 disk (one HBA)", DiskHBA: []int{0, 0}},
+		{Label: "2 disk (two HBA)", DiskHBA: []int{0, 1}},
+		{Label: "3 disk (two HBA)", DiskHBA: []int{0, 0, 1}},
+	}
+}
+
+// Table1Cell holds both groups of a row: disks-only and disks+FDDI.
+type Table1Cell struct {
+	Row       Table1Row
+	DisksOnly BaselineResult
+	Combined  BaselineResult
+}
+
+// RunTable1 reruns the whole table.
+func RunTable1(cfg Config, dur time.Duration) ([]Table1Cell, error) {
+	var out []Table1Cell
+	for _, row := range Table1Rows() {
+		cell := Table1Cell{Row: row}
+		var err error
+		if len(row.DiskHBA) > 0 {
+			cell.DisksOnly, err = RunBaseline(cfg, row.DiskHBA, false, dur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		cell.Combined, err = RunBaseline(cfg, row.DiskHBA, true, dur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// AnalyticMemPathMBps computes §3.2.3's upper bound for the disk-less
+// data path: 1 / (1/write + 1/copy + 2/read) in 10^6 B/s.
+func AnalyticMemPathMBps(cfg Config) float64 {
+	w := cfg.MemWriteRate.MBytesPerSecond()
+	c := cfg.MemCopyRate.MBytesPerSecond()
+	r := cfg.MemReadRate.MBytesPerSecond()
+	return 1 / (1/w + 1/c + 2/r)
+}
+
+// RunMemPath reruns the §3.2.3 measurement: a writer fills memory
+// buffers with constant values while ttcp sends them at the same rate
+// (double buffering: one fill per packet). Returns the NIC throughput
+// in MB/s — the paper measured ~6.3 against the analytic 7.5 bound,
+// the gap being per-packet instruction overhead.
+func RunMemPath(cfg Config, dur time.Duration) float64 {
+	m := NewMachine(cfg)
+	var cycle func()
+	cycle = func() {
+		m.memOp("writer", cfg.MemWriteRate.Duration(4*units.KB), func() {
+			m.nic.Send(4*units.KB, cycle)
+		})
+	}
+	cycle()
+	m.Eng.RunUntil(dur)
+	return mbps(m.nic.BytesSent, dur)
+}
+
+// RunSchedulingProbe reruns the §2.3.3 experiment: a single disk with
+// nclients concurrent readers of random 256 KB blocks, under the given
+// queue policy. Returns throughput in MB/s; the paper found elevator
+// beating round-robin by only ~6 %.
+func RunSchedulingProbe(cfg Config, policy QueuePolicy, nclients int, dur time.Duration) float64 {
+	m := NewMachine(cfg)
+	h := m.AddHBA()
+	d := m.AddDisk(h)
+	d.SetPolicy(policy)
+	for i := 0; i < nclients; i++ {
+		var loop func()
+		loop = func() {
+			d.Read(m.rng.Int63n(cfg.DiskBlocks), 256*units.KB, loop)
+		}
+		loop()
+	}
+	m.Eng.RunUntil(dur)
+	return mbps(d.BytesDone, dur)
+}
+
+// RunTimerProbe samples TimerRead latency with the given number of
+// busy HBAs (each kept active by one disk reader), reproducing §3.1's
+// instrument: ~4 µs / ~1 ms occasionally / ~20 ms often.
+func RunTimerProbe(cfg Config, busyHBAs, samples int) []time.Duration {
+	m := NewMachine(cfg)
+	for i := 0; i < busyHBAs; i++ {
+		h := m.AddHBA()
+		d := m.AddDisk(h)
+		startDiskReader(m, d, 256*units.KB)
+	}
+	out := make([]time.Duration, 0, samples)
+	interval := 5 * time.Millisecond
+	for i := 0; i < samples; i++ {
+		m.Eng.RunUntil(time.Duration(i+1) * interval)
+		out = append(out, m.TimerRead())
+	}
+	return out
+}

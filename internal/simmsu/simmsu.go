@@ -1,0 +1,356 @@
+// Package simmsu replays the MSU's data path on the simulated 1996
+// machine to regenerate the paper's throughput experiments (Graphs 1
+// and 2).
+//
+// The model follows §2.2.1 and §2.3: one disk process per disk loads
+// 256 KB blocks round-robin across the streams assigned to that disk
+// (double buffering: each stream keeps up to two blocks in memory); a
+// network process walks each stream's delivery schedule and sends each
+// packet at its deadline — quantized to FreeBSD's 10 ms timer — or as
+// soon afterwards as the data is buffered and the send path is free.
+// Lateness is recorded per packet exactly as the paper measures it:
+// milliseconds between the deadline and the moment the packet is
+// handed to the network.
+package simmsu
+
+import (
+	"fmt"
+	"time"
+
+	"calliope/internal/media"
+	"calliope/internal/simhw"
+	"calliope/internal/trace"
+	"calliope/internal/units"
+)
+
+// Config describes one MSU throughput experiment.
+type Config struct {
+	HW simhw.Config
+
+	// DiskHBA maps disks to HBAs, as in simhw.RunBaseline. The paper's
+	// Graph 1/2 rig is two disks on one HBA.
+	DiskHBA []int
+
+	// BlockSize is the MSU file-system block (256 KB in the paper).
+	BlockSize units.ByteSize
+
+	// BuffersPerStream is the double-buffering depth (2 in the paper).
+	BuffersPerStream int
+
+	// PerPacketOverhead is the MSU's own user-level cost per packet
+	// (scheduling, shared-memory queue, packetizing) on top of the
+	// kernel send path; the paper measures the MSU at ~90 % of
+	// baseline throughput, which this term calibrates.
+	PerPacketOverhead time.Duration
+
+	// StartStagger delays stream k's start by k*StartStagger. Zero
+	// starts all streams simultaneously — the paper's (unrealistically
+	// harsh) VBR test setup.
+	StartStagger time.Duration
+
+	// PinAllToDisk, when ≥ 0, places every stream's file on that one
+	// disk — the "popular content" scenario of §2.3.3 where "only 1/N
+	// of the system's customers can access any one item of content".
+	// Ignored when Striped is set. Default -1 spreads files i%N.
+	PinAllToDisk int
+
+	// Striped lays every stream's blocks round-robin across all disks
+	// (§2.3.3's alternative layout) instead of pinning each stream's
+	// file to the disk i%N. With striping, demand spreads evenly no
+	// matter which content is popular.
+	Striped bool
+
+	// Duration is the experiment length (the paper ran six minutes).
+	Duration time.Duration
+}
+
+// DefaultConfig returns the paper's Graph 1/2 rig.
+func DefaultConfig() Config {
+	return Config{
+		HW:                simhw.DefaultConfig(),
+		DiskHBA:           []int{0, 0},
+		BlockSize:         256 * units.KB,
+		BuffersPerStream:  2,
+		PerPacketOverhead: 120 * time.Microsecond,
+		PinAllToDisk:      -1,
+		Duration:          6 * time.Minute,
+	}
+}
+
+// pkt is one scheduled packet: its delivery offset, size, and the file
+// block it lives in.
+type pkt struct {
+	t     time.Duration
+	size  units.ByteSize
+	block int64
+}
+
+// Stream is one client's delivery schedule.
+type Stream struct {
+	pkts   []pkt
+	blocks int64
+}
+
+// CBRStream builds the Graph 1 workload: fixed-size packets at a
+// constant rate for the given duration.
+func CBRStream(rate units.BitRate, pktSize units.ByteSize, blockSize units.ByteSize, dur time.Duration) *Stream {
+	interval := rate.Duration(pktSize)
+	n := int(dur / interval)
+	s := &Stream{pkts: make([]pkt, 0, n)}
+	var bytes int64
+	for i := 0; i < n; i++ {
+		s.pkts = append(s.pkts, pkt{
+			t:     time.Duration(i) * interval,
+			size:  pktSize,
+			block: bytes / int64(blockSize),
+		})
+		bytes += int64(pktSize)
+	}
+	s.blocks = (bytes + int64(blockSize) - 1) / int64(blockSize)
+	return s
+}
+
+// MediaStream converts a generated media stream (e.g. the synthetic nv
+// files) into a delivery schedule, looping it to fill dur.
+func MediaStream(pkts []media.Packet, blockSize units.ByteSize, dur time.Duration) *Stream {
+	if len(pkts) == 0 {
+		return &Stream{}
+	}
+	span := pkts[len(pkts)-1].Time
+	if span <= 0 {
+		span = time.Second
+	}
+	s := &Stream{}
+	var bytes int64
+	for base := time.Duration(0); base < dur; base += span {
+		for _, p := range pkts {
+			t := base + p.Time
+			if t >= dur {
+				break
+			}
+			s.pkts = append(s.pkts, pkt{
+				t:     t,
+				size:  units.ByteSize(len(p.Payload)),
+				block: bytes / int64(blockSize),
+			})
+			bytes += int64(len(p.Payload))
+		}
+	}
+	s.blocks = (bytes + int64(blockSize) - 1) / int64(blockSize)
+	return s
+}
+
+// streamState is the runtime state of one stream.
+type streamState struct {
+	def    *Stream
+	start  time.Duration
+	disk   int
+	base   int64 // disk block address where this stream's file starts
+	next   int   // next packet index
+	loaded int64 // file blocks read into buffers so far
+	sent   int64 // file blocks fully transmitted
+	asleep bool  // a timer event is pending for the next packet
+}
+
+// remainingBuffers reports how many more blocks may be read ahead.
+func (st *streamState) wantsBlock(depth int) bool {
+	return st.loaded < st.def.blocks && st.loaded-st.sent < int64(depth)
+}
+
+// Result of one experiment run.
+type Result struct {
+	Recorder *trace.Recorder
+	Packets  int64
+	Bytes    int64
+	// MBps is the aggregate delivered rate in 10^6 bytes/sec.
+	MBps float64
+}
+
+// Run executes the experiment: streams[i] is served from disk
+// i % len(DiskHBA).
+func Run(cfg Config, streams []*Stream) (*Result, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("simmsu: non-positive duration")
+	}
+	if len(cfg.DiskHBA) == 0 {
+		return nil, fmt.Errorf("simmsu: no disks configured")
+	}
+	if cfg.BuffersPerStream < 1 {
+		return nil, fmt.Errorf("simmsu: need at least one buffer per stream")
+	}
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("simmsu: non-positive block size")
+	}
+	m := simhw.NewMachine(cfg.HW)
+	nhba := 0
+	for _, h := range cfg.DiskHBA {
+		if h+1 > nhba {
+			nhba = h + 1
+		}
+	}
+	hbas := make([]*simhw.HBA, nhba)
+	for i := range hbas {
+		hbas[i] = m.AddHBA()
+	}
+	disks := make([]*simhw.Disk, len(cfg.DiskHBA))
+	for i, h := range cfg.DiskHBA {
+		disks[i] = m.AddDisk(hbas[h])
+	}
+
+	// Lay streams out on disks: each stream's file occupies a
+	// contiguous block range, so intra-stream reads are sequential and
+	// inter-stream service round-robins across the platter — "random
+	// seeks between disk transfers" (§2.3.3).
+	states := make([]*streamState, len(streams))
+	diskStreams := make([][]*streamState, len(disks))
+	diskCursor := make([]int64, len(disks))
+	for i, def := range streams {
+		d := i % len(disks)
+		if !cfg.Striped && cfg.PinAllToDisk >= 0 && cfg.PinAllToDisk < len(disks) {
+			d = cfg.PinAllToDisk
+		}
+		st := &streamState{
+			def:   def,
+			start: time.Duration(i) * cfg.StartStagger,
+			disk:  d,
+			base:  diskCursor[d],
+		}
+		if cfg.Striped {
+			// Striped blocks advance across disks; per-disk file
+			// extent is blocks/N.
+			diskCursor[d] += def.blocks/int64(len(disks)) + 16
+		} else {
+			diskCursor[d] += def.blocks + 16 // gap between files
+		}
+		states[i] = st
+		diskStreams[d] = append(diskStreams[d], st)
+	}
+
+	rec := &trace.Recorder{}
+	var totalPkts, totalBytes int64
+
+	// Disk processes: round-robin refill of stream buffers. In the
+	// striped layout a stream's next block rotates across the disks, so
+	// each disk serves whichever streams currently need a block from
+	// it; in the pinned layout each disk owns its streams.
+	diskBusy := make([]bool, len(disks))
+	rrNext := make([]int, len(disks))
+	nextDiskOf := func(st *streamState) int {
+		if cfg.Striped {
+			return int(st.loaded % int64(len(disks)))
+		}
+		return st.disk
+	}
+	var dispatchDisk func(d int)
+	// refill re-arms disk service after a stream consumes a block; in
+	// the striped layout the stream's next block may live on any disk.
+	refill := func(hint int) {
+		if cfg.Striped {
+			for dd := range disks {
+				dispatchDisk(dd)
+			}
+			return
+		}
+		dispatchDisk(hint)
+	}
+	dispatchDisk = func(d int) {
+		if diskBusy[d] {
+			return
+		}
+		ss := diskStreams[d]
+		if cfg.Striped {
+			ss = states
+		}
+		for k := 0; k < len(ss); k++ {
+			st := ss[(rrNext[d]+k)%len(ss)]
+			if nextDiskOf(st) != d || !st.wantsBlock(cfg.BuffersPerStream) {
+				continue
+			}
+			rrNext[d] = (rrNext[d] + k + 1) % len(ss)
+			diskBusy[d] = true
+			block := st.base + st.loaded
+			if cfg.Striped {
+				block = st.base + st.loaded/int64(len(disks))
+			}
+			disks[d].Read(block, cfg.BlockSize, func() {
+				st.loaded++
+				diskBusy[d] = false
+				// The freshly needy stream may now want a block from
+				// any disk.
+				for dd := range disks {
+					dispatchDisk(dd)
+				}
+				wake(m, st, cfg, rec, &totalPkts, &totalBytes, refill)
+			})
+			return
+		}
+	}
+
+	for _, st := range states {
+		st := st
+		m.Eng.At(st.start, func() {
+			dispatchDisk(nextDiskOf(st))
+			wake(m, st, cfg, rec, &totalPkts, &totalBytes, refill)
+		})
+	}
+
+	m.Eng.RunUntil(cfg.Duration)
+	res := &Result{
+		Recorder: rec,
+		Packets:  totalPkts,
+		Bytes:    totalBytes,
+		MBps:     float64(totalBytes) / 1e6 / cfg.Duration.Seconds(),
+	}
+	return res, nil
+}
+
+// wake advances one stream's network process: if the next packet's
+// deadline tick has arrived and its block is buffered, send it;
+// otherwise arm a timer for the deadline (data arrival re-wakes us).
+func wake(m *simhw.Machine, st *streamState, cfg Config, rec *trace.Recorder,
+	totalPkts, totalBytes *int64, dispatchDisk func(int)) {
+	for {
+		if st.next >= len(st.def.pkts) {
+			return
+		}
+		p := st.def.pkts[st.next]
+		deadline := st.start + p.t
+		// The MSU's pacing loop sleeps until the deadline; FreeBSD
+		// timers fire on 10 ms boundaries.
+		due := m.NextTick(deadline)
+		if m.Eng.Now() < due {
+			if !st.asleep {
+				st.asleep = true
+				m.Eng.At(due, func() {
+					st.asleep = false
+					wake(m, st, cfg, rec, totalPkts, totalBytes, dispatchDisk)
+				})
+			}
+			return
+		}
+		if p.block >= st.loaded {
+			return // data not buffered yet; disk completion re-wakes
+		}
+		// Send: MSU user-level work, then the kernel path.
+		st.next++
+		isLastOfBlock := st.next >= len(st.def.pkts) || st.def.pkts[st.next].block > p.block
+		sendStart := func() {
+			m.NIC().Send(p.size, func() {
+				rec.Record(deadline, m.Eng.Now())
+				*totalPkts++
+				*totalBytes += int64(p.size)
+				if isLastOfBlock {
+					st.sent = p.block + 1
+					dispatchDisk(st.disk)
+				}
+				wake(m, st, cfg, rec, totalPkts, totalBytes, dispatchDisk)
+			})
+		}
+		if cfg.PerPacketOverhead > 0 {
+			m.MemOp("msu", cfg.PerPacketOverhead, sendStart)
+		} else {
+			sendStart()
+		}
+		return
+	}
+}

@@ -1,0 +1,306 @@
+package simmsu
+
+import (
+	"testing"
+	"time"
+
+	"calliope/internal/media"
+	"calliope/internal/units"
+)
+
+// cbrRun executes a Graph 1 style run with n 1.5 Mbit/s streams.
+func cbrRun(t *testing.T, n int, dur time.Duration) *Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Duration = dur
+	cfg.StartStagger = 60 * time.Millisecond
+	streams := make([]*Stream, n)
+	for i := range streams {
+		streams[i] = CBRStream(1500*units.Kbps, 4*units.KB, cfg.BlockSize, dur)
+	}
+	res, err := Run(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// vbrFiles synthesizes the paper's three nv test files.
+func vbrFiles(t *testing.T) [][]media.Packet {
+	t.Helper()
+	rates := []units.BitRate{650 * units.Kbps, 635 * units.Kbps, 877 * units.Kbps}
+	files := make([][]media.Packet, len(rates))
+	for i, r := range rates {
+		pkts, err := media.GenerateVBR(media.VBRConfig{
+			TargetRate: r, FPS: 15, PacketSize: 1024,
+			Duration: time.Minute, Seed: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = pkts
+	}
+	return files
+}
+
+// vbrRun executes a Graph 2 style run: n streams playing nfiles
+// distinct files, all started simultaneously (the paper's setup).
+func vbrRun(t *testing.T, n, nfiles int, dur time.Duration) *Result {
+	t.Helper()
+	files := vbrFiles(t)
+	cfg := DefaultConfig()
+	cfg.Duration = dur
+	cfg.StartStagger = 0
+	streams := make([]*Stream, n)
+	for i := range streams {
+		streams[i] = MediaStream(files[i%nfiles], cfg.BlockSize, dur)
+	}
+	res, err := Run(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGraph1Shape reproduces Graph 1's qualitative result: 22 streams
+// deliver with very good service, 23 visibly degrades, 24 collapses.
+func TestGraph1Shape(t *testing.T) {
+	const dur = 2 * time.Minute
+	w50 := make(map[int]float64)
+	for _, n := range []int{22, 23, 24} {
+		res := cbrRun(t, n, dur)
+		w50[n] = res.Recorder.PercentWithin(50 * time.Millisecond)
+		t.Logf("CBR %d streams: %.1f%% within 50ms, max %v, %.2f MB/s",
+			n, w50[n], res.Recorder.MaxLateness(), res.MBps)
+	}
+	if w50[22] < 95 {
+		t.Errorf("22 streams: %.1f%% within 50ms, want ≥ 95 (paper: 99.6)", w50[22])
+	}
+	if w50[24] > 50 {
+		t.Errorf("24 streams: %.1f%% within 50ms, want collapse below 50 (paper: 38)", w50[24])
+	}
+	if !(w50[22] >= w50[23] && w50[23] >= w50[24]) {
+		t.Errorf("degradation not monotone: 22→%.1f 23→%.1f 24→%.1f", w50[22], w50[23], w50[24])
+	}
+}
+
+// TestGraph1JitterBound checks E8: at the supported load the MSU adds
+// bounded jitter (the paper bounds it at 150 ms worst case; our
+// calibrated machine stays the same order of magnitude).
+func TestGraph1JitterBound(t *testing.T) {
+	res := cbrRun(t, 22, 2*time.Minute)
+	if max := res.Recorder.MaxLateness(); max > 400*time.Millisecond {
+		t.Errorf("max lateness %v at 22 streams — jitter bound blown", max)
+	}
+	if p := res.Recorder.PercentWithin(150 * time.Millisecond); p < 99 {
+		t.Errorf("%.2f%% within 150ms, want ≥ 99", p)
+	}
+}
+
+// TestGraph2Shape reproduces Graph 2: variable-rate service is
+// substantially worse than constant-rate at far lower aggregate
+// bandwidth, and degrades from 15 to 17 streams.
+func TestGraph2Shape(t *testing.T) {
+	const dur = 90 * time.Second
+	w50 := make(map[int]float64)
+	var mbps float64
+	for _, n := range []int{15, 16, 17} {
+		res := vbrRun(t, n, 3, dur)
+		w50[n] = res.Recorder.PercentWithin(50 * time.Millisecond)
+		mbps = res.MBps
+		t.Logf("VBR %d streams: %.1f%% within 50ms, max %v, %.2f MB/s",
+			n, w50[n], res.Recorder.MaxLateness(), res.MBps)
+	}
+	if !(w50[15] >= w50[16] && w50[16] >= w50[17]) {
+		t.Errorf("VBR degradation not monotone: %.1f %.1f %.1f", w50[15], w50[16], w50[17])
+	}
+	// The VBR limit is hit at ~1.5 MB/s aggregate, far below the CBR
+	// limit (~4.1 MB/s): small packets and burstiness, not bandwidth.
+	if mbps > 2.5 {
+		t.Errorf("VBR aggregate %.2f MB/s — should be far below the CBR limit", mbps)
+	}
+	cbr := cbrRun(t, 22, dur)
+	if cw := cbr.Recorder.PercentWithin(20 * time.Millisecond); cw < w50[15] {
+		// CBR at its own limit still beats VBR below its limit on a
+		// tighter threshold.
+		t.Logf("note: CBR within 20ms = %.1f vs VBR within 50ms = %.1f", cw, w50[15])
+	}
+	if w50[15] > cbr.Recorder.PercentWithin(50*time.Millisecond) {
+		t.Errorf("VBR at 15 streams (%.1f%%) outperformed CBR at 22 (%.1f%%) — inverted", w50[15], cbr.Recorder.PercentWithin(50*time.Millisecond))
+	}
+}
+
+// TestSingleFileSynchrony reproduces §3.2.2's aside: with every client
+// playing the same file, bursts align and capacity drops (the paper
+// could run only 11 single-file streams against 15 three-file ones).
+func TestSingleFileSynchrony(t *testing.T) {
+	const dur = 90 * time.Second
+	multi := vbrRun(t, 15, 3, dur)
+	single := vbrRun(t, 15, 1, dur)
+	eleven := vbrRun(t, 11, 1, dur)
+	mw := multi.Recorder.PercentWithin(50 * time.Millisecond)
+	sw := single.Recorder.PercentWithin(50 * time.Millisecond)
+	ew := eleven.Recorder.PercentWithin(50 * time.Millisecond)
+	t.Logf("15 streams/3 files: %.1f%% | 15 streams/1 file: %.1f%% | 11 streams/1 file: %.1f%%", mw, sw, ew)
+	if sw >= mw {
+		t.Errorf("single-file synchrony did not hurt: %.1f%% vs %.1f%%", sw, mw)
+	}
+	if ew < sw {
+		t.Errorf("11 single-file streams (%.1f%%) should beat 15 (%.1f%%)", ew, sw)
+	}
+}
+
+// TestTimerGranularityDominatesLightLoad: with few streams, lateness
+// comes almost entirely from the 10 ms timer quantization plus at most
+// one 256 KB disk DMA (~10.5 ms) the send can queue behind.
+func TestTimerGranularityDominatesLightLoad(t *testing.T) {
+	res := cbrRun(t, 4, time.Minute)
+	if p := res.Recorder.PercentWithin(25 * time.Millisecond); p < 99.5 {
+		t.Errorf("light load: %.1f%% within 25ms, want ≥ 99.5", p)
+	}
+	if p := res.Recorder.PercentWithin(10 * time.Millisecond); p < 80 {
+		t.Errorf("light load: %.1f%% within one timer tick, want ≥ 80", p)
+	}
+}
+
+func TestDoubleBufferingMatters(t *testing.T) {
+	// With a single buffer per stream the disk cannot stay ahead of
+	// the network; service should be clearly worse than with two.
+	cfg := DefaultConfig()
+	cfg.Duration = time.Minute
+	cfg.StartStagger = 60 * time.Millisecond
+	mk := func(depth int) float64 {
+		c := cfg
+		c.BuffersPerStream = depth
+		streams := make([]*Stream, 20)
+		for i := range streams {
+			streams[i] = CBRStream(1500*units.Kbps, 4*units.KB, c.BlockSize, c.Duration)
+		}
+		res, err := Run(c, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Recorder.PercentWithin(50 * time.Millisecond)
+	}
+	one := mk(1)
+	two := mk(2)
+	t.Logf("1 buffer: %.1f%% | 2 buffers: %.1f%%", one, two)
+	if two < one {
+		t.Errorf("double buffering made things worse: %.1f vs %.1f", two, one)
+	}
+	if one > 99.5 {
+		t.Errorf("single buffering suspiciously perfect (%.1f%%)", one)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("zero duration accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.DiskHBA = nil
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("no disks accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.BuffersPerStream = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("zero buffers accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.BlockSize = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestCBRStreamLayout(t *testing.T) {
+	s := CBRStream(1500*units.Kbps, 4*units.KB, 256*units.KB, 10*time.Second)
+	// 1.5 Mbit/s for 10 s = 1.875 MB → ~458 packets, 8 blocks.
+	if len(s.pkts) < 450 || len(s.pkts) > 460 {
+		t.Fatalf("packets = %d", len(s.pkts))
+	}
+	if s.blocks != 8 {
+		t.Fatalf("blocks = %d, want 8", s.blocks)
+	}
+	// 64 packets per 256 KB block.
+	if s.pkts[63].block != 0 || s.pkts[64].block != 1 {
+		t.Fatalf("block boundary wrong: %d, %d", s.pkts[63].block, s.pkts[64].block)
+	}
+	// Constant spacing.
+	d0 := s.pkts[1].t - s.pkts[0].t
+	for i := 2; i < 10; i++ {
+		if d := s.pkts[i].t - s.pkts[i-1].t; d != d0 {
+			t.Fatalf("uneven spacing at %d: %v vs %v", i, d, d0)
+		}
+	}
+}
+
+func TestMediaStreamLooping(t *testing.T) {
+	pkts, err := media.GenerateVBR(media.VBRConfig{
+		TargetRate: 650 * units.Kbps, FPS: 15, PacketSize: 1024,
+		Duration: 10 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MediaStream(pkts, 256*units.KB, 35*time.Second)
+	if len(s.pkts) < 3*len(pkts) {
+		t.Fatalf("loop did not extend the stream: %d vs %d source", len(s.pkts), len(pkts))
+	}
+	var last time.Duration
+	for i, p := range s.pkts {
+		if p.t < last {
+			t.Fatalf("time regressed at %d", i)
+		}
+		last = p.t
+		if p.t >= 35*time.Second {
+			t.Fatalf("packet %d beyond duration", i)
+		}
+	}
+	if s.blocks <= 0 {
+		t.Fatal("no blocks")
+	}
+	if empty := MediaStream(nil, 256*units.KB, time.Second); len(empty.pkts) != 0 {
+		t.Fatal("empty input should give empty stream")
+	}
+}
+
+// TestStripingRescuesPopularContent measures §2.3.3's utilization
+// argument: with files pinned to single disks, a popular item limits
+// its audience to one disk's capacity; striping spreads the same
+// demand across all disks. 20 streams of one hot item on a 2-disk MSU
+// collapse when pinned and play cleanly when striped.
+func TestStripingRescuesPopularContent(t *testing.T) {
+	const n = 20
+	const dur = 90 * time.Second
+	run := func(striped bool) float64 {
+		cfg := DefaultConfig()
+		cfg.Duration = dur
+		cfg.StartStagger = 60 * time.Millisecond
+		cfg.Striped = striped
+		if !striped {
+			cfg.PinAllToDisk = 0 // everyone wants the item on disk 0
+		}
+		streams := make([]*Stream, n)
+		for i := range streams {
+			streams[i] = CBRStream(1500*units.Kbps, 4*units.KB, cfg.BlockSize, dur)
+		}
+		res, err := Run(cfg, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Recorder.PercentWithin(50 * time.Millisecond)
+	}
+	pinned := run(false)
+	striped := run(true)
+	t.Logf("hot content, %d streams: pinned=%.1f%% striped=%.1f%% within 50ms", n, pinned, striped)
+	if striped < 90 {
+		t.Errorf("striped layout should serve 14 spread streams cleanly: %.1f%%", striped)
+	}
+	if pinned > striped-20 {
+		t.Errorf("pinned layout should visibly collapse: pinned=%.1f striped=%.1f", pinned, striped)
+	}
+}

@@ -1,0 +1,194 @@
+// Package trace records packet delivery traces and computes the
+// cumulative lateness distributions the paper's Graphs 1 and 2 plot:
+// "the percent of packets delivered within a given number of
+// milliseconds of their deadline", in one-millisecond bins.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Recorder accumulates per-packet lateness observations.
+type Recorder struct {
+	lateness []time.Duration
+}
+
+// Record notes one packet delivered at actual against its deadline.
+// Early deliveries count as zero lateness (the client buffers them).
+func (r *Recorder) Record(deadline, actual time.Duration) {
+	late := actual - deadline
+	if late < 0 {
+		late = 0
+	}
+	r.lateness = append(r.lateness, late)
+}
+
+// Count reports the number of recorded packets.
+func (r *Recorder) Count() int { return len(r.lateness) }
+
+// PercentWithin reports the percentage of packets delivered no more
+// than d after their deadline.
+func (r *Recorder) PercentWithin(d time.Duration) float64 {
+	if len(r.lateness) == 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range r.lateness {
+		if l <= d {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(r.lateness))
+}
+
+// MaxLateness reports the worst observed lateness.
+func (r *Recorder) MaxLateness() time.Duration {
+	var max time.Duration
+	for _, l := range r.lateness {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Mean reports the average lateness.
+func (r *Recorder) Mean() time.Duration {
+	if len(r.lateness) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.lateness {
+		sum += l
+	}
+	return sum / time.Duration(len(r.lateness))
+}
+
+// Percentile reports the p-th percentile lateness (0 < p ≤ 100).
+func (r *Recorder) Percentile(p float64) time.Duration {
+	if len(r.lateness) == 0 || p <= 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.lateness))
+	copy(sorted, r.lateness)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// CDF returns the cumulative percentage of packets per one-millisecond
+// lateness bin, from 0 to maxMs inclusive — the Y values of the
+// paper's graphs. Index i holds the percentage delivered within i ms.
+func (r *Recorder) CDF(maxMs int) []float64 {
+	out := make([]float64, maxMs+1)
+	if len(r.lateness) == 0 {
+		return out
+	}
+	counts := make([]int, maxMs+1)
+	beyond := 0
+	for _, l := range r.lateness {
+		ms := int(l / time.Millisecond)
+		if ms > maxMs {
+			beyond++
+			continue
+		}
+		counts[ms]++
+	}
+	cum := 0
+	total := float64(len(r.lateness))
+	for i := 0; i <= maxMs; i++ {
+		cum += counts[i]
+		out[i] = 100 * float64(cum) / total
+	}
+	_ = beyond
+	return out
+}
+
+// Series is one labelled CDF curve, e.g. "22 1.5 Mbit/s streams".
+type Series struct {
+	Label    string
+	Recorder *Recorder
+}
+
+// FormatGraph renders curves the way the paper's graphs tabulate them:
+// rows of cumulative percentages at selected lateness thresholds.
+func FormatGraph(title string, series []Series, thresholds []time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s", "milliseconds late ≤")
+	for _, th := range thresholds {
+		fmt.Fprintf(&b, "%8d", th/time.Millisecond)
+	}
+	fmt.Fprintf(&b, "%10s\n", "max(ms)")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-28s", s.Label)
+		for _, th := range thresholds {
+			fmt.Fprintf(&b, "%8.1f", s.Recorder.PercentWithin(th))
+		}
+		fmt.Fprintf(&b, "%10d\n", s.Recorder.MaxLateness()/time.Millisecond)
+	}
+	return b.String()
+}
+
+// RenderASCII draws the cumulative distributions as a text plot in the
+// spirit of the paper's graphs: X is milliseconds late (0..maxMs), Y is
+// cumulative percent of packets. Each series gets a distinct marker.
+func RenderASCII(series []Series, maxMs, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	if maxMs < 1 {
+		maxMs = 1
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = make([]byte, width)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	for si, s := range series {
+		cdf := s.Recorder.CDF(maxMs)
+		m := markers[si%len(markers)]
+		for x := 0; x < width; x++ {
+			ms := x * maxMs / (width - 1)
+			if ms > maxMs {
+				ms = maxMs
+			}
+			pct := cdf[ms]
+			y := height - 1 - int(pct/100*float64(height-1)+0.5)
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% of packets delivered within N ms of deadline\n")
+	for y := 0; y < height; y++ {
+		pct := 100 * (height - 1 - y) / (height - 1)
+		fmt.Fprintf(&b, "%3d%% |%s|\n", pct, string(grid[y]))
+	}
+	fmt.Fprintf(&b, "     +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      0 ms%*s\n", width-4, fmt.Sprintf("%d ms", maxMs))
+	for si, s := range series {
+		fmt.Fprintf(&b, "      %c = %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}

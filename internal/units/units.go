@@ -1,0 +1,94 @@
+// Package units provides the size and rate types used throughout
+// Calliope: byte sizes, bit rates, and the conversions between them and
+// durations. The paper quotes rates in Mbit/s (streams), MByte/s
+// (devices, always 10^6 bytes/sec) and sizes in KBytes (2^10); these
+// types keep the two unit families from being confused.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// ByteSize is a count of bytes.
+type ByteSize int64
+
+// Binary byte-size units (the paper's "KByte" blocks are 2^10-based).
+const (
+	Byte ByteSize = 1
+	KB            = 1024 * Byte
+	MB            = 1024 * KB
+	GB            = 1024 * MB
+)
+
+// String formats the size with the largest fitting binary unit.
+func (s ByteSize) String() string {
+	switch {
+	case s >= GB:
+		return fmt.Sprintf("%.2fGB", float64(s)/float64(GB))
+	case s >= MB:
+		return fmt.Sprintf("%.2fMB", float64(s)/float64(MB))
+	case s >= KB:
+		return fmt.Sprintf("%.2fKB", float64(s)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", int64(s))
+}
+
+// BitRate is a data rate in bits per second.
+type BitRate int64
+
+// Decimal rate units, matching the paper's Mbit/s and MByte/s figures
+// (both are powers of ten).
+const (
+	BitPerSecond  BitRate = 1
+	Kbps                  = 1000 * BitPerSecond
+	Mbps                  = 1000 * Kbps
+	BytePerSecond         = 8 * BitPerSecond
+	KBps                  = 1000 * BytePerSecond
+	MBps                  = 1000 * KBps
+)
+
+// String formats the rate in the largest fitting decimal bit unit.
+func (r BitRate) String() string {
+	switch {
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbit/s", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbit/s", float64(r)/float64(Kbps))
+	}
+	return fmt.Sprintf("%dbit/s", int64(r))
+}
+
+// BytesPerSecond reports the rate in bytes per second.
+func (r BitRate) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// MBytesPerSecond reports the rate in 10^6 bytes per second, the unit
+// used by Table 1 of the paper.
+func (r BitRate) MBytesPerSecond() float64 { return float64(r) / 8e6 }
+
+// Duration reports how long transferring n bytes takes at rate r.
+// A non-positive rate yields zero.
+func (r BitRate) Duration(n ByteSize) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	bits := float64(n) * 8
+	return time.Duration(bits / float64(r) * float64(time.Second))
+}
+
+// Bytes reports how many whole bytes are transferred at rate r in d.
+func (r BitRate) Bytes(d time.Duration) ByteSize {
+	if d <= 0 || r <= 0 {
+		return 0
+	}
+	return ByteSize(float64(r) / 8 * d.Seconds())
+}
+
+// RateOf reports the rate at which n bytes were moved in d.
+// A non-positive duration yields zero.
+func RateOf(n ByteSize, d time.Duration) BitRate {
+	if d <= 0 {
+		return 0
+	}
+	return BitRate(float64(n) * 8 / d.Seconds())
+}

@@ -1,0 +1,130 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1.00KB"},
+		{256 * KB, "256.00KB"},
+		{MB, "1.00MB"},
+		{3 * GB / 2, "1.50GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{0, "0bit/s"},
+		{500, "500bit/s"},
+		{Kbps, "1.00Kbit/s"},
+		{1500 * Kbps, "1.50Mbit/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("BitRate(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationOfBlockAtStreamRate(t *testing.T) {
+	// The paper's canonical numbers: a 256KB block at 1.5 Mbit/s lasts
+	// about 1.4 seconds.
+	d := BitRate(1500 * Kbps).Duration(256 * KB)
+	if d < 1390*time.Millisecond || d > 1400*time.Millisecond {
+		t.Errorf("256KB at 1.5Mbit/s = %v, want ~1.398s", d)
+	}
+}
+
+func TestBufferHoldsOverOneSecond(t *testing.T) {
+	// Section 2.2.1: "A 200 KByte buffer will hold more than one second
+	// of 1.5 Mbit/sec video."
+	d := BitRate(1500 * Kbps).Duration(200 * KB)
+	if d <= time.Second {
+		t.Errorf("200KB at 1.5Mbit/s = %v, want > 1s", d)
+	}
+}
+
+func TestMBytesPerSecond(t *testing.T) {
+	if got := BitRate(8 * Mbps).MBytesPerSecond(); got != 1.0 {
+		t.Errorf("8Mbit/s = %v MB/s, want 1.0", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := BitRate(8 * Mbps).Bytes(time.Second); got != 1000000 {
+		t.Errorf("8Mbit/s for 1s = %d bytes, want 1000000", got)
+	}
+	if got := BitRate(8 * Mbps).Bytes(-time.Second); got != 0 {
+		t.Errorf("negative duration: got %d bytes, want 0", got)
+	}
+}
+
+func TestRateOf(t *testing.T) {
+	if got := RateOf(1000000, time.Second); got != 8*Mbps {
+		t.Errorf("RateOf(1e6 bytes, 1s) = %v, want 8Mbit/s", got)
+	}
+	if got := RateOf(12345, 0); got != 0 {
+		t.Errorf("RateOf with zero duration = %v, want 0", got)
+	}
+}
+
+func TestDurationZeroRate(t *testing.T) {
+	if got := BitRate(0).Duration(KB); got != 0 {
+		t.Errorf("zero rate duration = %v, want 0", got)
+	}
+}
+
+// Property: transferring for the time Duration reports recovers roughly
+// the original byte count (within rounding of the ns-granularity
+// duration).
+func TestDurationBytesRoundTrip(t *testing.T) {
+	f := func(kb uint16, mbps uint8) bool {
+		n := ByteSize(kb) * KB
+		r := BitRate(int64(mbps)+1) * Mbps
+		d := r.Duration(n)
+		got := r.Bytes(d)
+		diff := int64(got - n)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Allow 1 byte per microsecond of duration as rounding slack.
+		return diff <= int64(d/time.Microsecond)+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RateOf inverts Duration.
+func TestRateOfInvertsDuration(t *testing.T) {
+	f := func(kb uint16, mbps uint8) bool {
+		n := ByteSize(kb)*KB + 1
+		r := BitRate(int64(mbps)+1) * Mbps
+		d := r.Duration(n)
+		if d == 0 {
+			return true
+		}
+		got := RateOf(n, d)
+		ratio := float64(got) / float64(r)
+		return ratio > 0.999 && ratio < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

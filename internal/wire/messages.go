@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/units"
+)
+
+// Message type names. Grouped by relationship.
+const (
+	// Client → Coordinator.
+	TypeHello          = "hello"
+	TypeListContent    = "list-content"
+	TypeListTypes      = "list-types"
+	TypeRegisterPort   = "register-port"
+	TypeUnregisterPort = "unregister-port"
+	TypePlay           = "play"
+	TypeRecord         = "record"
+	TypeDeleteContent  = "delete-content"
+	TypeAddType        = "add-type"
+	TypeStatus         = "status"
+
+	// MSU → Coordinator.
+	TypeMSUHello      = "msu-hello"
+	TypeStreamEnded   = "stream-ended"
+	TypeRecordingDone = "recording-done"
+
+	// Coordinator → MSU.
+	TypeStartStream = "start-stream"
+	TypeStopStream  = "stop-stream"
+
+	// MSU → Client (first message on the VCR control connection).
+	TypeVCRHello = "vcr-hello"
+	// Client → MSU on the VCR connection.
+	TypeVCR = "vcr"
+	// MSU → Client when a stream finishes on its own.
+	TypeStreamEOF = "stream-eof"
+)
+
+// Hello opens a client session.
+type Hello struct {
+	User string `json:"user"`
+}
+
+// Welcome answers Hello.
+type Welcome struct {
+	Session core.SessionID `json:"session"`
+}
+
+// ContentList answers TypeListContent.
+type ContentList struct {
+	Items []core.ContentInfo `json:"items"`
+}
+
+// TypeList answers TypeListTypes.
+type TypeList struct {
+	Types []core.ContentType `json:"types"`
+}
+
+// RegisterPort declares a display port (§2.1). Composite ports name
+// previously registered component ports per component type.
+type RegisterPort struct {
+	Name       string            `json:"name"`
+	Type       string            `json:"type"`
+	Addr       string            `json:"addr,omitempty"`
+	Control    string            `json:"control,omitempty"`
+	Components map[string]string `json:"components,omitempty"`
+}
+
+// PortOK answers RegisterPort.
+type PortOK struct {
+	Port core.PortID `json:"port"`
+}
+
+// UnregisterPort drops a display port by name.
+type UnregisterPort struct {
+	Name string `json:"name"`
+}
+
+// Play asks the Coordinator to schedule playback of content to a port.
+type Play struct {
+	Content string `json:"content"`
+	Port    string `json:"port"`
+	// ControlAddr is where the client listens for the MSU's VCR
+	// control connection.
+	ControlAddr string `json:"controlAddr"`
+	// Wait queues the request until resources free up instead of
+	// failing (§2.2: "the Coordinator queues the request").
+	Wait bool `json:"wait,omitempty"`
+}
+
+// PlayOK answers Play: one entry per stream-group member.
+type PlayOK struct {
+	Group   uint64         `json:"group"`
+	Streams []StreamInfo   `json:"streams"`
+	MSU     core.MSUID     `json:"msu"`
+	Length  time.Duration  `json:"length"`
+	Size    units.ByteSize `json:"size"`
+}
+
+// StreamInfo describes one started stream.
+type StreamInfo struct {
+	Stream  core.StreamID `json:"stream"`
+	Content string        `json:"content"`
+	Type    string        `json:"type"`
+}
+
+// Record asks the Coordinator to schedule a recording.
+type Record struct {
+	Content     string        `json:"content"`
+	Type        string        `json:"type"`
+	Port        string        `json:"port"` // display port naming the source addresses
+	Estimate    time.Duration `json:"estimate"`
+	ControlAddr string        `json:"controlAddr"`
+	Wait        bool          `json:"wait,omitempty"`
+}
+
+// RecordOK answers Record. The client sends its media to DataAddr (and
+// protocol control traffic to CtrlAddr if present).
+type RecordOK struct {
+	Group    uint64         `json:"group"`
+	Streams  []RecordStream `json:"streams"`
+	MSU      core.MSUID     `json:"msu"`
+	Reserved units.ByteSize `json:"reserved"`
+}
+
+// RecordStream describes one recording sink.
+type RecordStream struct {
+	Stream   core.StreamID `json:"stream"`
+	Content  string        `json:"content"`
+	Type     string        `json:"type"`
+	DataAddr string        `json:"dataAddr"`
+	CtrlAddr string        `json:"ctrlAddr,omitempty"`
+}
+
+// DeleteContent removes an item (admin).
+type DeleteContent struct {
+	Content string `json:"content"`
+}
+
+// AddType installs a content type (admin; §2.1 "clients may not define
+// new types without the help of a system administrator").
+type AddType struct {
+	Type core.ContentType `json:"type"`
+}
+
+// Status reports Coordinator load, used by the scalability experiment
+// and operator tooling.
+type Status struct {
+	MSUs          int         `json:"msus"`
+	MSUsAvailable int         `json:"msusAvailable"`
+	ActiveStreams int         `json:"activeStreams"`
+	QueuedPlays   int         `json:"queuedPlays"`
+	Contents      int         `json:"contents"`
+	Sessions      int         `json:"sessions"`
+	Requests      int64       `json:"requests"`
+	Disks         []DiskUsage `json:"disks,omitempty"`
+}
+
+// DiskUsage is one disk's scheduling state: how much of its bandwidth
+// and space the Coordinator has committed (§2.2: "the Coordinator ...
+// keeps track of load by processor and disk").
+type DiskUsage struct {
+	Disk          core.DiskID    `json:"disk"`
+	Alive         bool           `json:"alive"`
+	BandwidthUsed units.BitRate  `json:"bandwidthUsed"`
+	BandwidthCap  units.BitRate  `json:"bandwidthCap"`
+	SpaceUsed     units.ByteSize `json:"spaceUsed"` // stored + reserved
+	SpaceCap      units.ByteSize `json:"spaceCap"`
+}
+
+// DiskInfo describes one MSU disk in MSUHello.
+type DiskInfo struct {
+	BlockSize   int            `json:"blockSize"`
+	TotalBlocks int64          `json:"totalBlocks"`
+	FreeBlocks  int64          `json:"freeBlocks"`
+	Bandwidth   units.BitRate  `json:"bandwidth"` // deliverable rate budget
+	Contents    []ContentDecl  `json:"contents"`
+	Reserve     units.ByteSize `json:"-"`
+}
+
+// ContentDecl announces one stored content item during registration.
+type ContentDecl struct {
+	Name    string         `json:"name"`
+	Type    string         `json:"type"`
+	Length  time.Duration  `json:"length"`
+	Size    units.ByteSize `json:"size"`
+	HasFast bool           `json:"hasFast"`
+}
+
+// MSUHello registers an MSU with the Coordinator.
+type MSUHello struct {
+	ID    core.MSUID `json:"id"`
+	Disks []DiskInfo `json:"disks"`
+}
+
+// MSUWelcome answers MSUHello.
+type MSUWelcome struct{}
+
+// StartStream tells an MSU to begin one stream (play or record).
+type StartStream struct {
+	Spec core.StreamSpec `json:"spec"`
+}
+
+// StartStreamOK answers StartStream. For recordings it carries the UDP
+// addresses the client must send to.
+type StartStreamOK struct {
+	DataAddr string `json:"dataAddr,omitempty"`
+	CtrlAddr string `json:"ctrlAddr,omitempty"`
+}
+
+// StopStream tells an MSU to abort a stream.
+type StopStream struct {
+	Stream core.StreamID `json:"stream"`
+}
+
+// StreamEnded notifies the Coordinator a stream finished (§2.2: "the
+// MSU informs the coordinator that the stream has been terminated").
+type StreamEnded struct {
+	Stream core.StreamID `json:"stream"`
+	Cause  string        `json:"cause"`
+}
+
+// RecordingDone notifies the Coordinator a recording committed, with
+// actual (not estimated) resource use.
+type RecordingDone struct {
+	Stream  core.StreamID  `json:"stream"`
+	Content string         `json:"content"`
+	Type    string         `json:"type"`
+	Disk    int            `json:"disk"`
+	Length  time.Duration  `json:"length"`
+	Size    units.ByteSize `json:"size"`
+}
+
+// VCRHello is the MSU's first message on the control connection it
+// opens to the client (§2.1).
+type VCRHello struct {
+	Group   uint64        `json:"group"`
+	Streams []StreamInfo  `json:"streams"`
+	Length  time.Duration `json:"length"`
+}
+
+// VCR carries one VCR command; all members of a stream group obey it.
+type VCR struct {
+	Op  string        `json:"op"` // play, pause, seek, fast-forward, fast-backward, quit
+	Pos time.Duration `json:"pos,omitempty"`
+}
+
+// VCRAck answers VCR with the group's current position.
+type VCRAck struct {
+	Pos   time.Duration `json:"pos"`
+	Speed string        `json:"speed"`
+}
+
+// StreamEOF tells the client playback reached the end of content.
+type StreamEOF struct {
+	Group uint64        `json:"group"`
+	Pos   time.Duration `json:"pos"`
+}

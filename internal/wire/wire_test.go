@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Envelope{Kind: KindRequest, ID: 42, Type: "play", Body: json.RawMessage(`{"content":"movie"}`)}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.ID != in.ID || out.Type != in.Type {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	var body struct {
+		Content string `json:"content"`
+	}
+	if err := out.Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Content != "movie" {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestReadMessageRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize frame: %v", err)
+	}
+}
+
+func TestReadMessageRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 3})
+	buf.WriteString("{{{")
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("garbage body: %v", err)
+	}
+}
+
+// peerPair builds two connected peers over a real TCP loopback socket.
+func peerPair(t *testing.T, serverHandler Handler) (client, server *Peer) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Peer, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- NewPeer(c, serverHandler, nil)
+	}()
+	cc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client = NewPeer(cc, nil, nil)
+	server = <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	l.Close()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestPeerCall(t *testing.T) {
+	client, _ := peerPair(t, func(msgType string, body json.RawMessage) (any, error) {
+		if msgType != "echo" {
+			return nil, fmt.Errorf("unknown type %q", msgType)
+		}
+		var v map[string]string
+		if err := json.Unmarshal(body, &v); err != nil {
+			return nil, err
+		}
+		v["reply"] = "yes"
+		return v, nil
+	})
+	var resp map[string]string
+	if err := client.Call("echo", map[string]string{"q": "hi"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["q"] != "hi" || resp["reply"] != "yes" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestPeerRemoteError(t *testing.T) {
+	client, _ := peerPair(t, func(msgType string, body json.RawMessage) (any, error) {
+		return nil, errors.New("calliope: no such content")
+	})
+	err := client.Call("play", struct{}{}, nil)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "no such content") {
+		t.Fatalf("error text lost: %v", err)
+	}
+}
+
+func TestPeerConcurrentCalls(t *testing.T) {
+	client, _ := peerPair(t, func(msgType string, body json.RawMessage) (any, error) {
+		var v struct {
+			N int `json:"n"`
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			return nil, err
+		}
+		if v.N%3 == 0 {
+			time.Sleep(2 * time.Millisecond) // scramble response order
+		}
+		return map[string]int{"n": v.N * 2}, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			var resp map[string]int
+			if err := client.Call("double", map[string]int{"n": n}, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp["n"] != n*2 {
+				errs <- fmt.Errorf("n=%d got %d", n, resp["n"])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPeerNotify(t *testing.T) {
+	got := make(chan string, 1)
+	client, _ := peerPair(t, func(msgType string, body json.RawMessage) (any, error) {
+		got <- msgType
+		return nil, nil
+	})
+	if err := client.Notify("stream-ended", StreamEnded{Stream: 7, Cause: "quit"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case mt := <-got:
+		if mt != "stream-ended" {
+			t.Fatalf("type = %q", mt)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notification never arrived")
+	}
+}
+
+func TestPeerDownDetection(t *testing.T) {
+	// The Coordinator's failure detector: closing one end fires onDown
+	// on the other and fails pending calls.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	cc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var downCount atomic.Int32
+	down := make(chan struct{})
+	server := NewPeer(<-accepted, nil, func(error) {
+		downCount.Add(1)
+		close(down)
+	})
+	defer server.Close()
+	client := NewPeer(cc, nil, nil)
+	client.Close()
+	select {
+	case <-down:
+	case <-time.After(2 * time.Second):
+		t.Fatal("onDown never fired")
+	}
+	if downCount.Load() != 1 {
+		t.Fatalf("onDown fired %d times", downCount.Load())
+	}
+	// Calls on the dead peer fail fast.
+	if err := server.Call("x", struct{}{}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call on dead peer: %v", err)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	client, _ := peerPair(t, nil)
+	client.Close()
+	if err := client.Call("x", struct{}{}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close: %v", err)
+	}
+}
+
+func TestNoHandlerRejectsRequests(t *testing.T) {
+	client, _ := peerPair(t, nil)
+	err := client.Call("anything", struct{}{}, nil)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want remote error, got %v", err)
+	}
+}
+
+func TestMessagePayloadsSurviveJSON(t *testing.T) {
+	// Spot-check that representative payloads round-trip through the
+	// envelope layer without losing fields.
+	spec := StartStream{}
+	spec.Spec.Stream = 9
+	spec.Spec.Content = "movie"
+	spec.Spec.Rate = 1_500_000
+	spec.Spec.Record = true
+	spec.Spec.Estimate = time.Hour
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StartStream
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != spec.Spec {
+		t.Fatalf("StartStream mutated: %+v vs %+v", got.Spec, spec.Spec)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	client, _ := peerPair(t, func(msgType string, body json.RawMessage) (any, error) {
+		if msgType == "slow" {
+			<-block
+		}
+		return map[string]bool{"ok": true}, nil
+	})
+	defer close(block)
+	start := time.Now()
+	err := client.CallTimeout("slow", struct{}{}, nil, 100*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if waited := time.Since(start); waited < 80*time.Millisecond || waited > 2*time.Second {
+		t.Fatalf("timed out after %v", waited)
+	}
+	// The connection survives: a fast call still works, and the late
+	// response to the abandoned call is discarded silently.
+	var resp map[string]bool
+	if err := client.CallTimeout("fast", struct{}{}, &resp, 2*time.Second); err != nil {
+		t.Fatalf("connection unusable after timeout: %v", err)
+	}
+	if !resp["ok"] {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func BenchmarkCall(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan *Peer, 1)
+	go func() {
+		c, _ := l.Accept()
+		done <- NewPeer(c, func(msgType string, body json.RawMessage) (any, error) {
+			return map[string]bool{"ok": true}, nil
+		}, nil)
+	}()
+	cc, _ := net.Dial("tcp", l.Addr().String())
+	client := NewPeer(cc, nil, nil)
+	server := <-done
+	defer client.Close()
+	defer server.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Call("ping", map[string]int{"n": i}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
