@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples clean
+.PHONY: all build vet lint test race bench repro examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Calliope's own analyzers: spscrole, walltime, atomiccopy, errdropped
+# (see DESIGN.md, "Static analysis & invariants").
+lint:
+	$(GO) run ./cmd/calliope-vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/wire/ ./internal/msu/ ./internal/coordinator/ ./internal/client/
+	$(GO) test -race ./...
 
 # One measurement per table/figure, as Go benchmarks.
 bench:

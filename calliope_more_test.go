@@ -636,6 +636,7 @@ func TestStripedRecording(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("no EOF")
 	}
+	play.WaitCount(len(sent), 2*time.Second) // bounded drain of the sink
 	got := play.Packets()
 	if len(got) != len(sent) {
 		t.Fatalf("replayed %d of %d packets", len(got), len(sent))

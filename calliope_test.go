@@ -100,6 +100,9 @@ func TestPlayEndToEnd(t *testing.T) {
 		t.Fatal("no EOF within 15s")
 	}
 	elapsed := time.Since(start)
+	// On a loaded host the receiver goroutine can trail the socket
+	// buffer at EOF; give it a bounded moment to drain.
+	recv.WaitCount(len(src), 2*time.Second)
 
 	// All packets arrived, in order, with the original payloads.
 	got := recv.Packets()
@@ -374,6 +377,7 @@ func TestRecordThenPlayRTP(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("no EOF on playback")
 	}
+	playRecv.WaitCount(len(sent), 2*time.Second) // bounded drain of the sink
 	got := playRecv.Packets()
 	if len(got) != len(sent) {
 		t.Fatalf("replayed %d packets, want %d", len(got), len(sent))

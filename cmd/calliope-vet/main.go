@@ -1,0 +1,257 @@
+// Command calliope-vet is Calliope's custom static-analysis
+// multichecker. It runs the repo-specific analyzers — spscrole,
+// walltime, atomiccopy, errdropped — over the packages named on the
+// command line and exits non-zero if any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/calliope-vet ./...
+//	go run ./cmd/calliope-vet ./internal/msu ./internal/coordinator
+//	go run ./cmd/calliope-vet -list
+//
+// Patterns are module-relative directories; the trailing /... wildcard
+// matches every package under a directory. The tool needs no network
+// and no GOPATH: module packages are resolved from the module root and
+// the standard library is type-checked from GOROOT source. Analyzer
+// diagnostics explain how to suppress false positives; see DESIGN.md
+// ("Static analysis & invariants").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"calliope/internal/analysis/atomiccopy"
+	"calliope/internal/analysis/errdropped"
+	"calliope/internal/analysis/framework"
+	"calliope/internal/analysis/spscrole"
+	"calliope/internal/analysis/walltime"
+)
+
+var analyzers = []*framework.Analyzer{
+	spscrole.Analyzer,
+	walltime.Analyzer,
+	atomiccopy.Analyzer,
+	errdropped.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	var only stringsFlag
+	flag.Var(&only, "run", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: calliope-vet [-list] [-run a,b] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if len(only) > 0 {
+		selected = nil
+		for _, a := range analyzers {
+			for _, name := range only {
+				if a.Name == name {
+					selected = append(selected, a)
+				}
+			}
+		}
+		if len(selected) == 0 {
+			fatalf("no analyzer matches -run=%s", strings.Join(only, ","))
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	paths, err := expand(root, modPath, patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	loader := framework.NewLoader()
+	loader.ModulePath = modPath
+	loader.ModuleRoot = root
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calliope-vet: %v\n", err)
+			exit = 1
+			continue
+		}
+		diags, err := framework.Run(pkg, selected)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calliope-vet: %v\n", err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel, rerr := filepath.Rel(root, pos.Filename)
+			if rerr != nil {
+				rel = pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// findModule walks upward from the working directory to go.mod and
+// reads the module path.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			m := regexp.MustCompile(`(?m)^module\s+(\S+)`).FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves command-line patterns to module import paths.
+func expand(root, modPath string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "all" {
+			pat = "./..."
+		}
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "...")
+			pat = strings.TrimSuffix(pat, "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		dir := pat
+		if strings.HasPrefix(pat, modPath) {
+			dir = "./" + strings.TrimPrefix(strings.TrimPrefix(pat, modPath), "/")
+		}
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(root, dir)
+		}
+		if recursive {
+			if err := walkPackages(root, modPath, abs, add); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p, ok := importPath(root, modPath, abs); ok {
+			add(p)
+		} else {
+			return nil, fmt.Errorf("no Go package at %s", pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkPackages adds every directory under base containing Go files.
+func walkPackages(root, modPath, base string, add func(string)) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if p, ok := importPath(root, modPath, path); ok {
+			add(p)
+		}
+		return nil
+	})
+}
+
+// importPath maps a directory with Go files to its module import path.
+func importPath(root, modPath, dir string) (string, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	hasGo := false
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			hasGo = true
+			break
+		}
+	}
+	if !hasGo {
+		return "", false
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", false
+	}
+	if rel == "." {
+		return modPath, true
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	return modPath + "/" + filepath.ToSlash(rel), true
+}
+
+type stringsFlag []string
+
+func (s *stringsFlag) String() string { return strings.Join(*s, ",") }
+func (s *stringsFlag) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*s = append(*s, part)
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "calliope-vet: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,196 @@
+// Package atomiccopy flags by-value copies of structs that embed
+// sync/atomic counter types (atomic.Uint64, atomic.Int64, …).
+//
+// Calliope's SPSC queue coordinates its producer and consumer with two
+// atomic counters (§2.3). Copying such a struct silently forks the
+// counters: the copy starts with a frozen snapshot and every later
+// operation on it diverges from the original — the queue appears to
+// work while delivering stale or duplicated items. The same applies to
+// any future struct holding atomics. Flagged copies: assignments from
+// an existing value, by-value arguments and returns, range variables,
+// and by-value receivers or parameters in function signatures.
+// Constructing a fresh value (composite literal, new) is fine.
+package atomiccopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"calliope/internal/analysis/framework"
+)
+
+// Analyzer is the atomiccopy check.
+var Analyzer = &framework.Analyzer{
+	Name: "atomiccopy",
+	Doc:  "flag by-value copies of structs containing sync/atomic counters",
+	Run:  run,
+}
+
+// atomicTypes are the sync/atomic struct types whose copy forks state.
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+	"Pointer": true, "Value": true,
+}
+
+type checker struct {
+	pass *framework.Pass
+	memo map[types.Type]bool
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{pass: pass, memo: make(map[types.Type]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.CallExpr:
+				c.checkCall(n)
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			case *ast.ReturnStmt:
+				c.checkReturn(n)
+			case *ast.FuncDecl:
+				c.checkSignature(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `x = y` and `x := y` where y is an existing value
+// of an atomic-bearing struct type.
+func (c *checker) checkAssign(n *ast.AssignStmt) {
+	for _, rhs := range n.Rhs {
+		if c.copiesAtomics(rhs) {
+			c.pass.Reportf(rhs.Pos(), "assignment copies %s, forking its atomic counters; use a pointer", c.typeName(rhs))
+		}
+	}
+}
+
+// checkCall flags by-value arguments of atomic-bearing struct types.
+func (c *checker) checkCall(n *ast.CallExpr) {
+	for _, arg := range n.Args {
+		if c.copiesAtomics(arg) {
+			c.pass.Reportf(arg.Pos(), "call passes %s by value, forking its atomic counters; pass a pointer", c.typeName(arg))
+		}
+	}
+}
+
+// checkRange flags `for _, v := range xs` where v copies an
+// atomic-bearing struct element.
+func (c *checker) checkRange(n *ast.RangeStmt) {
+	for _, v := range []ast.Expr{n.Key, n.Value} {
+		if v == nil {
+			continue
+		}
+		id, ok := v.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			// `for i, v = range` over predeclared vars.
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && c.containsAtomic(obj.Type()) {
+			c.pass.Reportf(v.Pos(), "range variable copies %s, forking its atomic counters; range over indices or pointers", obj.Type().String())
+		}
+	}
+}
+
+// checkReturn flags returning an existing atomic-bearing value.
+func (c *checker) checkReturn(n *ast.ReturnStmt) {
+	for _, r := range n.Results {
+		if c.copiesAtomics(r) {
+			c.pass.Reportf(r.Pos(), "return copies %s, forking its atomic counters; return a pointer", c.typeName(r))
+		}
+	}
+}
+
+// checkSignature flags by-value receivers and parameters declared with
+// atomic-bearing struct types.
+func (c *checker) checkSignature(n *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := c.pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if c.containsAtomic(tv.Type) {
+				c.pass.Reportf(field.Type.Pos(), "%s declares %s by value, forking its atomic counters; use a pointer", what, tv.Type.String())
+			}
+		}
+	}
+	check(n.Recv, "method receiver")
+	if n.Type.Params != nil {
+		check(n.Type.Params, "parameter")
+	}
+}
+
+// copiesAtomics reports whether e reads an existing atomic-bearing
+// struct value (as opposed to constructing a fresh one).
+func (c *checker) copiesAtomics(e ast.Expr) bool {
+	switch under := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		_ = under
+	default:
+		return false // composite literals, calls, conversions construct values
+	}
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	// Only value types copy; pointers, interfaces etc. do not.
+	return c.containsAtomic(tv.Type)
+}
+
+func (c *checker) typeName(e ast.Expr) string {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "value"
+}
+
+// containsAtomic reports whether t (a value type) transitively holds a
+// sync/atomic counter field.
+func (c *checker) containsAtomic(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // cycle breaker
+	result := false
+	if isAtomicType(t) {
+		result = true
+	} else {
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if c.containsAtomic(u.Field(i).Type()) {
+					result = true
+					break
+				}
+			}
+		case *types.Array:
+			result = c.containsAtomic(u.Elem())
+		}
+	}
+	c.memo[t] = result
+	return result
+}
+
+// isAtomicType reports whether t is one of sync/atomic's counter
+// structs.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypes[obj.Name()]
+}

@@ -1,0 +1,12 @@
+package atomiccopy_test
+
+import (
+	"testing"
+
+	"calliope/internal/analysis/analysistest"
+	"calliope/internal/analysis/atomiccopy"
+)
+
+func TestAtomicCopy(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccopy.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+// Package a exercises the atomiccopy analyzer: copying a struct that
+// holds sync/atomic counters forks the counters.
+package a
+
+import "sync/atomic"
+
+// Counter embeds an atomic counter, like internal/queue's SPSC.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Wrap holds a Counter by value, so copying it is just as bad.
+type Wrap struct {
+	c Counter
+}
+
+var global Counter
+
+// sink accepts anything.
+func sink(v any) {}
+
+// badAssign copies an existing Counter into a new variable.
+func badAssign() {
+	c := global // want `assignment copies a\.Counter`
+	c.n.Load()
+}
+
+// badCall passes a Counter by value.
+func badCall() {
+	sink(global) // want `call passes a\.Counter by value`
+}
+
+// badReturn returns a dereferenced copy.
+func badReturn(p *Wrap) Wrap {
+	return *p // want `return copies a\.Wrap`
+}
+
+// badRange copies each element into the range variable.
+func badRange(xs []Counter) uint64 {
+	var sum uint64
+	for _, c := range xs { // want `range variable copies a\.Counter`
+		sum += c.n.Load()
+	}
+	return sum
+}
+
+// badParam declares a by-value parameter.
+func badParam(c Counter) { // want `parameter declares a\.Counter by value`
+	c.n.Load()
+}
+
+// badReceiver declares a by-value receiver.
+func (w Wrap) badReceiver() { // want `method receiver declares a\.Wrap by value`
+	w.c.n.Load()
+}
+
+// okConstruct builds fresh values — composite literals and new do not
+// copy live counters.
+func okConstruct() *Counter {
+	c := Counter{}
+	c.n.Store(1)
+	w := &Wrap{}
+	w.c.n.Store(2)
+	return &c
+}
+
+// okPointer moves the struct by pointer everywhere.
+func okPointer(c *Counter) uint64 {
+	p := c
+	sink(p)
+	return p.n.Load()
+}
+
+// okRangePointers ranges over pointers, never copying.
+func okRangePointers(xs []*Counter) uint64 {
+	var sum uint64
+	for _, c := range xs {
+		sum += c.n.Load()
+	}
+	return sum
+}
+
+// okIndices ranges by index over a value slice.
+func okIndices(xs []Counter) uint64 {
+	var sum uint64
+	for i := range xs {
+		sum += xs[i].n.Load()
+	}
+	return sum
+}
+
+// plain has no atomics: copying it freely is fine.
+type plain struct{ n int }
+
+func okPlain(p plain) plain {
+	q := p
+	sink(q)
+	return q
+}

@@ -1,0 +1,12 @@
+package errdropped_test
+
+import (
+	"testing"
+
+	"calliope/internal/analysis/analysistest"
+	"calliope/internal/analysis/errdropped"
+)
+
+func TestErrDropped(t *testing.T) {
+	analysistest.Run(t, "testdata", errdropped.Analyzer, "a")
+}

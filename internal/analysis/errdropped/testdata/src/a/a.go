@@ -1,0 +1,45 @@
+// Package a exercises the errdropped analyzer against the stand-in
+// control-plane packages.
+package a
+
+import (
+	"internal/protocol"
+	"internal/wire"
+)
+
+// bad drops control-plane errors every flagged way.
+func bad(p *wire.Peer) {
+	p.Notify("x")          // want `error from wire\.Notify discarded`
+	defer p.Close()        // want `unobservable in a deferred call`
+	go p.Notify("y")       // want `unobservable in a go statement`
+	_ = p.Notify("z")      // want `error from wire\.Notify assigned to _`
+	_, _ = wire.Dial("d")  // want `error from wire\.Dial assigned to _`
+	_, _ = protocol.Decode(nil) // want `error from protocol\.Decode assigned to _`
+}
+
+// good handles, returns, or explicitly waives each error.
+func good(p *wire.Peer) error {
+	if err := p.Notify("x"); err != nil {
+		return err
+	}
+	peer, err := wire.Dial("d")
+	if err != nil {
+		return err
+	}
+	n, err := protocol.Decode(nil)
+	if err != nil || n == 0 {
+		return err
+	}
+	p.Notify("teardown") //nolint:errcheck
+	p.Notify("teardown") //nolint:errdropped
+	wire.Name() // no error result: never flagged
+	return peer.Close()
+}
+
+// localDrop drops an error from a non-target package — out of scope.
+func localDrop() {
+	helper()
+	_ = helper()
+}
+
+func helper() error { return nil }

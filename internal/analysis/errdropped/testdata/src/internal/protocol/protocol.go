@@ -1,0 +1,6 @@
+// Package protocol mirrors internal/protocol's codec surface for the
+// errdropped analyzer tests.
+package protocol
+
+// Decode parses a frame.
+func Decode(b []byte) (int, error) { return 0, nil }

@@ -1,0 +1,18 @@
+// Package wire mirrors the control-plane surface of internal/wire for
+// the errdropped analyzer tests.
+package wire
+
+// Peer is a stand-in RPC peer.
+type Peer struct{}
+
+// Notify sends a one-way message; its error means the peer is gone.
+func (p *Peer) Notify(s string) error { return nil }
+
+// Close tears down the connection.
+func (p *Peer) Close() error { return nil }
+
+// Dial connects to a peer.
+func Dial(addr string) (*Peer, error) { return &Peer{}, nil }
+
+// Name returns no error — calls to it are never flagged.
+func Name() string { return "wire" }

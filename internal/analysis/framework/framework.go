@@ -1,0 +1,157 @@
+// Package framework is a self-contained reimplementation of the core
+// of golang.org/x/tools/go/analysis, built only on the standard
+// library's go/ast, go/parser, go/types and go/importer packages.
+//
+// Calliope's correctness rests on invariants the compiler cannot see:
+// the SPSC queue's single-producer/single-consumer contract (§2.3),
+// wall-clock-free deterministic packages, structs of atomic counters
+// that must never be copied, and control-plane errors that must never
+// be dropped. The analyzers under internal/analysis encode those
+// invariants; this package gives them an x/tools-shaped API (Analyzer,
+// Pass, Diagnostic) plus a loader, so they read like standard go/vet
+// checkers while the tree stays dependency-free.
+//
+// Diagnostics can be suppressed with a trailing
+// "//nolint:<analyzer>" comment on the offending line; an analyzer may
+// declare extra accepted suppression names (errdropped, for example,
+// also honors the conventional //nolint:errcheck).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and nolint comments.
+	Name string
+	// Doc is a one-paragraph description of what it reports.
+	Doc string
+	// Suppress lists extra nolint names (besides Name and "all") that
+	// silence this analyzer's diagnostics.
+	Suppress []string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// Run executes the analyzers over a loaded package and returns the
+// surviving (non-suppressed) diagnostics in position order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// filterSuppressed drops diagnostics whose source line carries a
+// matching nolint comment.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file → line → set of nolint names on that line.
+	suppressed := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := nolintNames(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := suppressed[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					suppressed[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if lineSuppresses(suppressed[pos.Filename][pos.Line], d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// nolintNames extracts the analyzer names from a "//nolint:a,b" text.
+func nolintNames(text string) []string {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "nolint:") {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, "nolint:")
+	// Ignore trailing prose ("//nolint:errcheck // released at most once").
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func lineSuppresses(names []string, a *Analyzer) bool {
+	for _, n := range names {
+		if n == "all" || n == a.Name {
+			return true
+		}
+		for _, s := range a.Suppress {
+			if n == s {
+				return true
+			}
+		}
+	}
+	return false
+}

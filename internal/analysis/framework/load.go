@@ -1,0 +1,183 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	GoFiles []string
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages without the go/packages
+// machinery. Import paths resolve in three tiers:
+//
+//  1. under SrcRoot (a GOPATH-style src directory, used by
+//     analysistest's testdata trees),
+//  2. under the module (ModulePath → ModuleRoot), and
+//  3. everything else from GOROOT source via the stdlib "source"
+//     importer — fully offline, no export data needed.
+//
+// Loaded packages are memoized, so one Loader amortizes the stdlib
+// type-checking across a whole ./... sweep.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleRoot string
+	SrcRoot    string
+
+	pkgs map[string]*Package
+	std  types.ImporterFrom
+}
+
+// NewLoader builds a Loader with a fresh FileSet.
+func NewLoader() *Loader {
+	l := &Loader{Fset: token.NewFileSet(), pkgs: make(map[string]*Package)}
+	l.std = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// Load type-checks the package at the given import path (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("framework: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("framework: cannot resolve %q outside the module", path)
+	}
+	l.pkgs[path] = nil // cycle marker
+	pkg, err := l.loadDir(path, dir)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// resolve maps an import path to a source directory, reporting whether
+// this loader owns it (as opposed to the stdlib importer).
+func (l *Loader) resolve(path string) (string, bool) {
+	if l.SrcRoot != "" {
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleRoot, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+// loadDir parses and type-checks every non-test .go file in dir.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("framework: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("framework: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	var goFiles []string
+	for _, name := range names {
+		fn := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		goFiles = append(goFiles, fn)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("framework: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("framework: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:    path,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		GoFiles: goFiles,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// loaderImporter adapts Loader to types.Importer for imports
+// encountered during type checking.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.resolve(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,12 @@
+package spscrole_test
+
+import (
+	"testing"
+
+	"calliope/internal/analysis/analysistest"
+	"calliope/internal/analysis/spscrole"
+)
+
+func TestSPSCRole(t *testing.T) {
+	analysistest.Run(t, "testdata", spscrole.Analyzer, "a")
+}

@@ -1,0 +1,85 @@
+// Package a exercises the spscrole analyzer: correct
+// one-producer/one-consumer wiring stays silent, role violations are
+// flagged.
+package a
+
+import "queue"
+
+// ok is the canonical correct shape: one producer goroutine, one
+// consumer goroutine.
+func ok() {
+	q := queue.NewSPSC[int](8)
+	go func() { q.Enqueue(1) }()
+	go func() { q.Dequeue() }()
+}
+
+// okSequential uses the queue from a single goroutine without spawning
+// — single-threaded use cannot race.
+func okSequential() {
+	q := queue.NewSPSC[int](8)
+	q.Enqueue(1)
+	q.Dequeue()
+}
+
+// okHandoff passes the queue to two different worker functions, the
+// producer/consumer split of msu's player.
+func okHandoff() {
+	q := queue.NewSPSC[int](8)
+	go produce(q)
+	go consume(q)
+}
+
+func produce(q *queue.SPSC[int]) { q.Enqueue(1) }
+func consume(q *queue.SPSC[int]) { q.Dequeue() }
+
+// badBothRoles spawns one goroutine that plays both roles.
+func badBothRoles() {
+	q := queue.NewSPSC[int](8)
+	go func() {
+		q.Enqueue(1) // want `both enqueues and dequeues`
+		q.Dequeue()
+	}()
+}
+
+// badTwoProducers gives the queue two enqueueing goroutines.
+func badTwoProducers() {
+	q := queue.NewSPSC[int](8)
+	go func() { q.Enqueue(1) }()
+	go func() { q.Enqueue(2) }() // want `multiple producers`
+	go func() { q.Dequeue() }()
+}
+
+// badTwoConsumers gives the queue two dequeueing goroutines (Peek is
+// consumer-side too).
+func badTwoConsumers() {
+	q := queue.NewSPSC[int](8)
+	go func() { q.Enqueue(1) }()
+	go func() { q.Dequeue() }()
+	go func() { q.Peek() }() // want `multiple consumers`
+}
+
+// badLoopSpawn spawns an unbounded number of producers.
+func badLoopSpawn() {
+	q := queue.NewSPSC[int](8)
+	go func() { q.Dequeue() }()
+	for i := 0; i < 4; i++ {
+		go func() { q.Enqueue(i) }() // want `spawned in a loop`
+	}
+}
+
+// badDoubleSpawn runs the same worker twice over one queue.
+func badDoubleSpawn() {
+	q := queue.NewSPSC[int](8)
+	go produce(q)
+	go produce(q) // want `passed to multiple goroutines running produce`
+}
+
+// badFieldQueue tracks queues through field selections too.
+type holder struct {
+	q *queue.SPSC[int]
+}
+
+func (h *holder) badField() {
+	go func() { h.q.Enqueue(1) }()
+	go func() { h.q.Enqueue(2) }() // want `multiple producers`
+}

@@ -1,0 +1,22 @@
+// Package queue mirrors internal/queue's SPSC surface for the
+// spscrole analyzer tests (the analyzer matches any SPSC type in a
+// package whose path ends in "queue").
+package queue
+
+// SPSC is a stand-in for the lock-free single-producer/single-consumer
+// queue.
+type SPSC[T any] struct {
+	buf []T
+}
+
+// NewSPSC returns a queue.
+func NewSPSC[T any](capacity int) *SPSC[T] { return &SPSC[T]{buf: make([]T, capacity)} }
+
+// Enqueue is producer-side only.
+func (q *SPSC[T]) Enqueue(v T) bool { return true }
+
+// Dequeue is consumer-side only.
+func (q *SPSC[T]) Dequeue() (T, bool) { var zero T; return zero, false }
+
+// Peek is consumer-side only.
+func (q *SPSC[T]) Peek() (T, bool) { var zero T; return zero, false }

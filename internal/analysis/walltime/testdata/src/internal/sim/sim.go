@@ -1,0 +1,28 @@
+// Package sim stands in for a deterministic simulation package: any
+// wall-clock read here breaks reproducibility.
+package sim
+
+import "time"
+
+// Bad reads the wall clock three banned ways.
+func Bad() time.Time {
+	time.Sleep(time.Millisecond)   // want `time\.Sleep in deterministic package`
+	<-time.After(time.Millisecond) // want `time\.After in deterministic package`
+	return time.Now()              // want `time\.Now in deterministic package`
+}
+
+// Clock shows the legal injection idiom: referencing time.Now as a
+// value (not calling it) so callers can substitute a virtual clock.
+var Clock = time.Now
+
+// Good consumes an injected clock and never touches the wall clock
+// itself; time.Duration arithmetic and timers built from injected
+// values stay legal.
+func Good(now func() time.Time, d time.Duration) time.Time {
+	return now().Add(d * 2)
+}
+
+// Suppressed documents a deliberate wall-clock read.
+func Suppressed() time.Time {
+	return time.Now() //nolint:walltime
+}

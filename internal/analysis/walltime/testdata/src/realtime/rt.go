@@ -1,0 +1,12 @@
+// Package realtime is not on the deterministic list: wall-clock use is
+// unrestricted here, so the analyzer must stay silent.
+package realtime
+
+import "time"
+
+// Pace sleeps for real — fine outside the simulation packages.
+func Pace() time.Time {
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,113 @@
+// Package walltime forbids wall-clock reads in Calliope's
+// deterministic packages.
+//
+// The simulator (internal/sim, internal/simhw, internal/simmsu), the
+// admission ledgers (internal/schedule) and the Coordinator's
+// scheduling logic (internal/coordinator) must compute delivery
+// schedules against an injected clock, never time.Now/Sleep/After —
+// otherwise simulation runs and the paper's experiments stop being
+// reproducible. Referencing time.Now as a *value* (the injection
+// idiom `cfg.Now = time.Now`) is allowed; calling it is not.
+//
+// The genuinely real-time MSU data path is exempted through the
+// embedded allowlist (allowlist.txt, one path suffix per line);
+// individual lines can also be suppressed with //nolint:walltime.
+package walltime
+
+import (
+	_ "embed"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"calliope/internal/analysis/framework"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &framework.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Sleep/time.After in deterministic packages",
+	Run:  run,
+}
+
+// DeterministicPkgs lists the package-path suffixes where wall time is
+// banned, with the paper section motivating each.
+var DeterministicPkgs = []string{
+	"internal/sim",         // §4: discrete-event engine, simulated clock only
+	"internal/simhw",       // §4: hardware model replaying the 1996 testbed
+	"internal/simmsu",      // §4: simulated MSU driven by the engine clock
+	"internal/schedule",    // §2.2: admission arithmetic must be time-free
+	"internal/coordinator", // §2.2: scheduling decisions use the injected clock
+}
+
+//go:embed allowlist.txt
+var rawAllowlist string
+
+// allowlist holds file-path suffixes exempt from the check (the
+// real-time MSU data path).
+var allowlist = parseAllowlist(rawAllowlist)
+
+func parseAllowlist(raw string) []string {
+	var out []string
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// banned are the time package functions that read or wait on the wall
+// clock.
+var banned = map[string]bool{"Now": true, "Sleep": true, "After": true}
+
+func run(pass *framework.Pass) error {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if allowed(filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.%s in deterministic package %s: use the injected clock (see DESIGN.md, Static analysis & invariants)", fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+func deterministic(path string) bool {
+	for _, p := range DeterministicPkgs {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func allowed(filename string) bool {
+	slashed := strings.ReplaceAll(filename, "\\", "/")
+	for _, suffix := range allowlist {
+		if strings.HasSuffix(slashed, suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package walltime
+
+import (
+	"testing"
+
+	"calliope/internal/analysis/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "internal/sim", "realtime")
+}
+
+// TestAllowlist checks the embedded exemptions for the real-time MSU
+// data path, plus suffix matching against absolute build paths.
+func TestAllowlist(t *testing.T) {
+	for _, f := range []string{
+		"/build/calliope/internal/msu/play.go",
+		"/build/calliope/internal/msu/record.go",
+	} {
+		if !allowed(f) {
+			t.Errorf("allowed(%q) = false, want true", f)
+		}
+	}
+	for _, f := range []string{
+		"/build/calliope/internal/sim/engine.go",
+		"/build/calliope/internal/msu/play_helper.go",
+	} {
+		if allowed(f) {
+			t.Errorf("allowed(%q) = true, want false", f)
+		}
+	}
+}
+
+// TestParseAllowlist checks comment and blank-line handling.
+func TestParseAllowlist(t *testing.T) {
+	got := parseAllowlist("# comment\n\ninternal/a/b.go\n  internal/c/d.go  \n")
+	want := []string{"internal/a/b.go", "internal/c/d.go"}
+	if len(got) != len(want) {
+		t.Fatalf("parseAllowlist: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("parseAllowlist[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -55,7 +55,7 @@ func Dial(coordinator, user string) (*Client, error) {
 	c.peer = wire.NewPeer(conn, nil, nil)
 	var welcome wire.Welcome
 	if err := c.peer.Call(wire.TypeHello, wire.Hello{User: user}, &welcome); err != nil {
-		c.peer.Close()
+		c.peer.Close() //nolint:errcheck // best-effort cleanup; the Call error is what matters
 		return nil, err
 	}
 	c.session = welcome.Session
@@ -63,7 +63,7 @@ func Dial(coordinator, user string) (*Client, error) {
 	host, _, _ := net.SplitHostPort(conn.LocalAddr().String())
 	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
-		c.peer.Close()
+		c.peer.Close() //nolint:errcheck // best-effort cleanup; the listener error is what matters
 		return nil, fmt.Errorf("client: opening control listener: %w", err)
 	}
 	c.vcrLn = ln
@@ -93,7 +93,7 @@ func (c *Client) Close() error {
 	c.mu.Unlock()
 	c.vcrLn.Close()
 	for _, v := range vcrs {
-		v.peer.Close()
+		v.peer.Close() //nolint:errcheck // teardown: the session close error below is the one reported
 	}
 	err := c.peer.Close()
 	c.wg.Wait()

@@ -54,6 +54,11 @@ type Config struct {
 	Users map[string]Role
 	// QueueTimeout bounds how long a Wait-ing play request may queue.
 	QueueTimeout time.Duration
+	// Now supplies the clock for queue-deadline arithmetic; nil means
+	// time.Now. Tests and the simulator inject a virtual clock so
+	// scheduling decisions stay reproducible (the walltime analyzer
+	// bans direct wall-clock reads in this package).
+	Now func() time.Time
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -144,6 +149,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.QueueTimeout == 0 {
 		cfg.QueueTimeout = 30 * time.Second
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		types:    make(map[string]core.ContentType),
@@ -206,7 +214,7 @@ func (c *Coordinator) Close() error {
 		err = ln.Close()
 	}
 	for _, p := range peers {
-		p.Close()
+		p.Close() //nolint:errcheck // teardown: the listener close error is the one reported
 	}
 	c.wg.Wait()
 	return err

@@ -36,6 +36,15 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 	defer c.mu.Unlock()
 
 	m := c.msus[req.ID]
+	if m != nil && m.alive && m.peer != ctx.peer {
+		// A new connection claims a name whose old connection has not
+		// yet been observed to break (§2.2: failures are detected by
+		// broken TCP connections, and a returning MSU re-registers).
+		// A restarting MSU typically races ahead of the EOF from its
+		// dying socket, so give msuDown a grace period to release the
+		// name before ruling this a duplicate.
+		m = c.waitMSUReleaseLocked(req.ID)
+	}
 	if m != nil && m.alive {
 		return nil, fmt.Errorf("%w: MSU %q already registered", core.ErrDuplicateName, req.ID)
 	}
@@ -86,6 +95,35 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 	c.logf("MSU %q registered with %d disks", req.ID, len(m.disks))
 	c.signalRelease()
 	return &wire.MSUWelcome{}, nil
+}
+
+// reregisterGrace bounds how long a re-registering MSU's hello waits
+// for the Coordinator to notice the previous connection breaking.
+const reregisterGrace = time.Second
+
+// waitMSUReleaseLocked waits (up to reregisterGrace) for msuDown to
+// release the named MSU, returning its latest state. Callers hold
+// c.mu; the lock is dropped while waiting and reacquired before
+// returning. If the old connection is genuinely still alive, the name
+// stays taken and the caller rejects the duplicate.
+func (c *Coordinator) waitMSUReleaseLocked(id core.MSUID) *msuState {
+	timer := time.NewTimer(reregisterGrace)
+	defer timer.Stop()
+	for {
+		m := c.msus[id]
+		if m == nil || !m.alive {
+			return m
+		}
+		ch := c.release
+		c.mu.Unlock()
+		select {
+		case <-ch:
+			c.mu.Lock()
+		case <-timer.C:
+			c.mu.Lock()
+			return c.msus[id]
+		}
+	}
 }
 
 // msuDown marks a failed MSU unavailable and releases every
@@ -324,7 +362,7 @@ func portForType(s *session, port *core.DisplayPort, atomicType string) (data, c
 // play schedules playback. With req.Wait it retries while resources
 // are busy, up to QueueTimeout (§2.2: queued requests).
 func (ctx *connCtx) play(req wire.Play) (*wire.PlayOK, error) {
-	deadline := time.Now().Add(ctx.c.cfg.QueueTimeout)
+	deadline := ctx.c.cfg.Now().Add(ctx.c.cfg.QueueTimeout)
 	for {
 		resp, retry, err := ctx.tryPlay(req)
 		if err == nil {
@@ -336,7 +374,7 @@ func (ctx *connCtx) play(req wire.Play) (*wire.PlayOK, error) {
 		ctx.c.mu.Lock()
 		ch := ctx.c.release
 		ctx.c.mu.Unlock()
-		remain := time.Until(deadline)
+		remain := deadline.Sub(ctx.c.cfg.Now())
 		if remain <= 0 {
 			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
 		}
@@ -479,7 +517,7 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 // record schedules a recording: it needs an MSU disk with both
 // bandwidth and space for every component (§2.2).
 func (ctx *connCtx) record(req wire.Record) (*wire.RecordOK, error) {
-	deadline := time.Now().Add(ctx.c.cfg.QueueTimeout)
+	deadline := ctx.c.cfg.Now().Add(ctx.c.cfg.QueueTimeout)
 	for {
 		resp, retry, err := ctx.tryRecord(req)
 		if err == nil {
@@ -491,7 +529,7 @@ func (ctx *connCtx) record(req wire.Record) (*wire.RecordOK, error) {
 		ctx.c.mu.Lock()
 		ch := ctx.c.release
 		ctx.c.mu.Unlock()
-		remain := time.Until(deadline)
+		remain := deadline.Sub(ctx.c.cfg.Now())
 		if remain <= 0 {
 			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
 		}

@@ -89,7 +89,7 @@ func Start(coordinator string, id core.MSUID, contentType string, delay time.Dur
 		}},
 	}
 	if err := f.peer.Call(wire.TypeMSUHello, hello, &wire.MSUWelcome{}); err != nil {
-		f.peer.Close()
+		f.peer.Close() //nolint:errcheck // best-effort cleanup; the registration error is what matters
 		return nil, err
 	}
 	return f, nil
@@ -224,7 +224,7 @@ func Run(coordinator string, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer d.peer.Close()
+		defer d.peer.Close() //nolint:errcheck // scenario teardown; nothing to report a close error to
 		drivers[i] = d
 	}
 

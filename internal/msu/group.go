@@ -203,7 +203,7 @@ func (g *group) quit(cause string) {
 		g.m.notifyCoordinator(wire.TypeStreamEnded, wire.StreamEnded{Stream: s.spec.Stream, Cause: cause})
 	}
 	if vcr != nil {
-		vcr.Close()
+		vcr.Close() //nolint:errcheck // teardown: the client is gone or leaving; nothing to report to
 	}
 	g.m.dropGroup(g)
 	g.m.logf("group %d terminated: %s", g.id, cause)

@@ -153,11 +153,12 @@ func (m *MSU) Close() error {
 	for _, g := range groups {
 		g.quit("msu shutdown")
 	}
+	var err error
 	if peer != nil {
-		peer.Close()
+		err = peer.Close()
 	}
 	m.wg.Wait()
-	return nil
+	return err
 }
 
 func (m *MSU) logf(format string, args ...any) {
@@ -175,11 +176,11 @@ func (m *MSU) connectOnce() error {
 	peer := wire.NewPeer(conn, m.handle, func(error) { m.reconnect() })
 	hello, err := m.buildHello()
 	if err != nil {
-		peer.Close()
+		peer.Close() //nolint:errcheck // best-effort cleanup; the hello error is what matters
 		return err
 	}
 	if err := peer.Call(wire.TypeMSUHello, hello, &wire.MSUWelcome{}); err != nil {
-		peer.Close()
+		peer.Close() //nolint:errcheck // best-effort cleanup; the registration error is what matters
 		return fmt.Errorf("msu: registering: %w", err)
 	}
 	m.mu.Lock()

@@ -375,9 +375,14 @@ func (p *player) diskLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
 	cur, err := p.tree.SeekTime(p.startPos)
 	if err != nil {
 		p.s.m.logf("stream %d: seek: %v", p.s.spec.Stream, err)
-		enqueue(qItem{eof: true})
+		enqueue(qItem{eof: true}) // t=0: error EOF is reported immediately
 		return
 	}
+	// lastT/gap place the EOF marker on the delivery timeline one
+	// packet interval after the final packet, so the network goroutine
+	// paces the EOF notification like any other item instead of racing
+	// it against the last datagram's delivery.
+	var lastT, gap time.Duration
 	for {
 		select {
 		case <-p.cancel:
@@ -387,11 +392,15 @@ func (p *player) diskLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
 		pkt, err := cur.Next()
 		if err != nil {
 			p.s.m.logf("stream %d: read: %v", p.s.spec.Stream, err)
-			enqueue(qItem{eof: true})
+			enqueue(qItem{eof: true}) // t=0: error EOF is reported immediately
 			return
 		}
 		if pkt == nil {
-			enqueue(qItem{eof: true})
+			slack := gap
+			if slack <= 0 {
+				slack = 2 * time.Millisecond
+			}
+			enqueue(qItem{t: lastT + slack, eof: true})
 			return
 		}
 		ch, payload, err := protocol.DecodeStored(pkt.Payload)
@@ -407,6 +416,10 @@ func (p *player) diskLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
 		if !enqueue(qItem{t: pkt.Time, ch: ch, payload: buf[:n]}) {
 			return
 		}
+		if d := pkt.Time - lastT; d > 0 {
+			gap = d
+		}
+		lastT = pkt.Time
 	}
 }
 
@@ -425,12 +438,9 @@ func (p *player) netLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
 				continue
 			}
 		}
-		if it.eof {
-			p.s.playerEOF(p)
-			// Stay parked until cancelled so stop() never blocks.
-			<-p.cancel
-			return
-		}
+		// Pace first — EOF items carry a timestamp just past the final
+		// packet, so end-of-stream is announced on the delivery
+		// timeline, never before the last datagram has been sent.
 		target := epoch.Add(it.t - p.startPos)
 		if d := time.Until(target); d > 0 {
 			t := time.NewTimer(d)
@@ -440,6 +450,12 @@ func (p *player) netLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
 				return
 			case <-t.C:
 			}
+		}
+		if it.eof {
+			p.s.playerEOF(p)
+			// Stay parked until cancelled so stop() never blocks.
+			<-p.cancel
+			return
 		}
 		conn := p.s.dataConn
 		if it.ch == protocol.Control && p.s.ctrlConn != nil {

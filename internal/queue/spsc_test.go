@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -94,6 +95,7 @@ func TestSPSCConcurrentFIFO(t *testing.T) {
 		for expect < n {
 			v, ok := q.Dequeue()
 			if !ok {
+				runtime.Gosched() // keep single-CPU hosts from starving the producer
 				continue
 			}
 			if v != expect {
@@ -107,6 +109,8 @@ func TestSPSCConcurrentFIFO(t *testing.T) {
 	for i := 0; i < n; {
 		if q.Enqueue(i) {
 			i++
+		} else {
+			runtime.Gosched()
 		}
 	}
 	if err := <-done; err != nil {

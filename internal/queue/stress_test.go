@@ -1,0 +1,41 @@
+package queue
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSPSCStress hammers the lock-free queue with its contractual
+// topology — exactly one producer goroutine and one consumer goroutine
+// — and checks that every item arrives exactly once, in FIFO order.
+// Run under -race this exercises the atomic head/tail protocol (§2.3);
+// the spscrole analyzer enforces the topology statically.
+func TestSPSCStress(t *testing.T) {
+	const full = 1_000_000
+	n := full
+	if testing.Short() {
+		n = 100_000
+	}
+	q := NewSPSC[int](1024)
+	go func() {
+		for i := 0; i < n; i++ {
+			for !q.Enqueue(i) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for want := 0; want < n; {
+		v, ok := q.Dequeue()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != want {
+			t.Fatalf("dequeued %d, want %d (reorder or loss)", v, want)
+		}
+		want++
+	}
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("queue not empty after %d items: got extra %d", n, v)
+	}
+}
