@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench repro examples clean
+.PHONY: all build vet lint test race faults bench repro examples clean
 
 all: build vet lint test
 
@@ -22,6 +22,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Failure-recovery tests under deterministic fault injection
+# (internal/faultinject; see DESIGN.md, "Failure handling").
+faults:
+	$(GO) test -race -timeout 120s -run 'Fault|Failover|Redispatch|Reconnect|MSUDown|Lost' . ./internal/coordinator ./internal/client ./internal/msu ./internal/faultinject
 
 # One measurement per table/figure, as Go benchmarks.
 bench:

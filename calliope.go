@@ -26,6 +26,7 @@ package calliope
 import (
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"calliope/internal/blockdev"
@@ -160,6 +161,15 @@ type ClusterConfig struct {
 	QueueTimeout time.Duration
 	// Logger enables server logging.
 	Logger *log.Logger
+	// MSUDial supplies a per-MSU TCP dialer used for the Coordinator
+	// connection and client control connections; nil means the MSU
+	// default. The fault-injection tests pass per-MSU injector dialers
+	// here (internal/faultinject) so one MSU can be "crashed" by
+	// severing everything it has dialed.
+	MSUDial func(msuIdx int) func(network, address string) (net.Conn, error)
+	// WrapDevice, if set, wraps each disk's block device before it is
+	// formatted — the place to interpose a faultinject.Device.
+	WrapDevice func(msuIdx, diskIdx int, dev blockdev.BlockDevice) blockdev.BlockDevice
 	// Preload, if set, runs on every freshly formatted volume before
 	// its MSU registers — the place to Ingest content so it appears in
 	// the Coordinator's table of contents from the start.
@@ -214,10 +224,14 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	for i := 0; i < cfg.MSUs; i++ {
 		var vols []*msufs.Volume
 		for d := 0; d < cfg.DisksPerMSU; d++ {
-			dev, err := blockdev.NewMem(int64(cfg.DiskSize))
+			mem, err := blockdev.NewMem(int64(cfg.DiskSize))
 			if err != nil {
 				cl.Close()
 				return nil, err
+			}
+			var dev blockdev.BlockDevice = mem
+			if cfg.WrapDevice != nil {
+				dev = cfg.WrapDevice(i, d, dev)
 			}
 			vol, err := msufs.Format(dev, msufs.Options{BlockSize: cfg.BlockSize})
 			if err != nil {
@@ -243,14 +257,18 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 				return nil, fmt.Errorf("calliope: striped preload msu%d: %w", i, err)
 			}
 		}
-		m, err := msu.New(msu.Config{
+		mcfg := msu.Config{
 			ID:            core.MSUID(fmt.Sprintf("msu%d", i)),
 			Coordinator:   coord.Addr(),
 			Volumes:       vols,
 			Striped:       cfg.Striped,
 			DiskBandwidth: cfg.DiskBandwidth,
 			Logger:        cfg.Logger,
-		})
+		}
+		if cfg.MSUDial != nil {
+			mcfg.Dial = cfg.MSUDial(i)
+		}
+		m, err := msu.New(mcfg)
 		if err != nil {
 			cl.Close()
 			return nil, err

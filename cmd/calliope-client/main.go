@@ -143,8 +143,15 @@ func play(c *calliope.Client, content string) {
 		content, stream.Length().Round(time.Millisecond), stream.Info().MSU)
 
 	go func() {
-		for range stream.EOF() {
-			fmt.Printf("\n[end of content — %d packets, %s received]\n> ", recv.Count(), units.ByteSize(recv.Bytes()))
+		for {
+			select {
+			case <-stream.EOF():
+				fmt.Printf("\n[end of content — %d packets, %s received]\n> ", recv.Count(), units.ByteSize(recv.Bytes()))
+			case m := <-stream.Migrated():
+				fmt.Printf("\n[server failed — stream moved to %s]\n> ", m.MSU)
+			case l := <-stream.Lost():
+				fmt.Printf("\n[stream lost: %s]\n> ", l.Reason)
+			}
 		}
 	}()
 

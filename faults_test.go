@@ -1,0 +1,214 @@
+package calliope
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"calliope/internal/blockdev"
+	"calliope/internal/faultinject"
+	"calliope/internal/msufs"
+)
+
+// faultCluster starts an n-MSU cluster with "movie" preloaded on every
+// disk and one fault injector interposed per MSU, so a test can
+// "crash" an MSU by severing everything it has dialed.
+func faultCluster(t *testing.T, n int, dur, queueTimeout time.Duration) (*Cluster, []*faultinject.Injector) {
+	t.Helper()
+	pkts := shortMovie(t, dur)
+	inj := make([]*faultinject.Injector, n)
+	for i := range inj {
+		inj[i] = faultinject.New(faultinject.Options{})
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		MSUs:         n,
+		BlockSize:    64 * 1024,
+		QueueTimeout: queueTimeout,
+		MSUDial: func(i int) func(network, address string) (net.Conn, error) {
+			return inj[i].Dial(nil)
+		},
+		Preload: func(m, d int, vol *msufs.Volume) error {
+			return Ingest(vol, "movie", "mpeg1", pkts)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return cluster, inj
+}
+
+// crash severs every connection an MSU holds and keeps its redials
+// failing — an abrupt process death, unlike MSU.Close's orderly
+// shutdown (which ends streams before disconnecting).
+func crash(in *faultinject.Injector) {
+	in.Partition(true)
+	in.CutAll()
+}
+
+// TestFaultMSUCrashMigratesStream: an MSU dies mid-delivery; the
+// Coordinator re-dispatches the stream group onto the other MSU
+// holding the content, the replacement MSU opens a fresh control
+// connection, and delivery resumes — the client never hangs (§2.2).
+func TestFaultMSUCrashMigratesStream(t *testing.T) {
+	cluster, inj := faultCluster(t, 2, 10*time.Second, 0)
+	c, err := Dial(cluster.Addr(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	recv, err := NewReceiver("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("tv", "mpeg1", recv.Addr(), ""); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.Play("movie", "tv", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Info().MSU != "msu0" {
+		t.Fatalf("play placed on %q, want the primary msu0", stream.Info().MSU)
+	}
+	if !recv.WaitCount(3, 5*time.Second) {
+		t.Fatal("stream never started")
+	}
+
+	crash(inj[0])
+
+	select {
+	case m := <-stream.Migrated():
+		if m.MSU != "msu1" {
+			t.Fatalf("migrated to %q, want msu1", m.MSU)
+		}
+	case l := <-stream.Lost():
+		t.Fatalf("stream lost (%q) with a live replica available", l.Reason)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no migration notice after MSU crash")
+	}
+	// The dead MSU's control connection broke too.
+	select {
+	case <-stream.Down():
+	case <-time.After(5 * time.Second):
+		t.Fatal("old control connection never reported down")
+	}
+	// Delivery resumes from the replacement MSU.
+	n := recv.Count()
+	if !recv.WaitCount(n+3, 10*time.Second) {
+		t.Fatal("no data from the replacement MSU")
+	}
+	// VCR control works against the replacement connection.
+	if err := stream.Quit(); err != nil {
+		t.Fatalf("quit after migration: %v", err)
+	}
+	if err := c.WaitStreamsIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultStreamLostWithoutReplica: with no second copy anywhere, the
+// Coordinator queues the orphaned group until QueueTimeout, then tells
+// the client stream-lost — an explicit verdict, never a silent hang.
+func TestFaultStreamLostWithoutReplica(t *testing.T) {
+	cluster, inj := faultCluster(t, 1, 10*time.Second, 300*time.Millisecond)
+	c, err := Dial(cluster.Addr(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	recv, err := NewReceiver("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("tv", "mpeg1", recv.Addr(), ""); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.Play("movie", "tv", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recv.WaitCount(3, 5*time.Second) {
+		t.Fatal("stream never started")
+	}
+
+	crash(inj[0])
+
+	select {
+	case l := <-stream.Lost():
+		if l.Reason == "" {
+			t.Fatal("stream-lost without a reason")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no stream-lost after unrecoverable MSU crash")
+	}
+	if err := c.WaitStreamsIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultDiskReadErrorEndsStream: a dying disk region under an
+// active play surfaces as an immediate EOF to the client instead of a
+// stalled stream (the MSU's disk goroutine reports the error and ends
+// the stream).
+func TestFaultDiskReadErrorEndsStream(t *testing.T) {
+	pkts := shortMovie(t, 15*time.Second)
+	var dev *faultinject.Device
+	cluster, err := StartCluster(ClusterConfig{
+		BlockSize: 64 * 1024,
+		WrapDevice: func(m, d int, b blockdev.BlockDevice) blockdev.BlockDevice {
+			w, werr := faultinject.NewDevice(b, 64*1024)
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			dev = w
+			return w
+		},
+		Preload: func(m, d int, vol *msufs.Volume) error {
+			return Ingest(vol, "movie", "mpeg1", pkts)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+
+	c, err := Dial(cluster.Addr(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	recv, err := NewReceiver("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("tv", "mpeg1", recv.Addr(), ""); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.Play("movie", "tv", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recv.WaitCount(3, 5*time.Second) {
+		t.Fatal("stream never started")
+	}
+
+	dev.FailReads(0, 1<<30) // the whole disk goes bad
+
+	// Natural EOF would take ~15 s; the injected fault must end the
+	// stream far sooner.
+	select {
+	case <-stream.EOF():
+	case <-time.After(10 * time.Second):
+		t.Fatal("no EOF after disk read faults — stream hung")
+	}
+	if err := stream.Quit(); err != nil {
+		t.Fatalf("quit after device fault: %v", err)
+	}
+	if err := c.WaitStreamsIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,7 @@ var DeterministicPkgs = []string{
 	"internal/simmsu",      // §4: simulated MSU driven by the engine clock
 	"internal/schedule",    // §2.2: admission arithmetic must be time-free
 	"internal/coordinator", // §2.2: scheduling decisions use the injected clock
+	"internal/faultinject", // fault timing must come from the injected After hook
 }
 
 //go:embed allowlist.txt

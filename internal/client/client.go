@@ -7,6 +7,14 @@
 // content. For each play/record the serving MSU opens a TCP control
 // connection back to the client, on which the client issues VCR
 // commands: pause, play, seek, fast-forward, fast-backward, quit.
+//
+// Failure handling (§2.2): if the Coordinator connection breaks the
+// client redials with capped exponential backoff and re-registers its
+// display ports on the new session. If a stream's MSU fails, the
+// Coordinator either re-dispatches the group onto another MSU holding
+// the content — the replacement MSU dials a fresh control connection
+// and the client seeks it to the last delivered position — or reports
+// stream-lost; both surface on the Stream handle.
 package client
 
 import (
@@ -20,50 +28,103 @@ import (
 	"calliope/internal/wire"
 )
 
+// Options tunes a Client's failure handling.
+type Options struct {
+	// Dial supplies the TCP dialer for the Coordinator connection; nil
+	// means net.Dial. Fault-injection tests pass an injector here
+	// (internal/faultinject).
+	Dial func(network, address string) (net.Conn, error)
+	// ReconnectBase and ReconnectCap bound the redial backoff; zero
+	// means the wire defaults.
+	ReconnectBase time.Duration
+	ReconnectCap  time.Duration
+}
+
 // Client is one session with a Calliope Coordinator.
 type Client struct {
-	peer    *wire.Peer
-	session core.SessionID
+	coordinator string
+	user        string
+	opts        Options
 
 	vcrLn net.Listener
 
-	mu       sync.Mutex
-	vcrByGrp map[uint64]*vcrState
-	vcrWait  map[uint64][]chan *vcrState
-	closed   bool
-	wg       sync.WaitGroup
+	mu      sync.Mutex
+	peer    *wire.Peer
+	session core.SessionID
+	groups  map[uint64]*groupState
+	vcrWait map[uint64][]chan *vcrState
+	// ports remembers successful registrations, in order (composite
+	// ports reference earlier component ports), so a reconnected
+	// session can be rebuilt.
+	ports []wire.RegisterPort
+	// connCh is closed while the Coordinator connection is up and
+	// replaced when it breaks.
+	connCh       chan struct{}
+	reconnecting bool
+	closed       bool
+	quit         chan struct{}
+	wg           sync.WaitGroup
+}
+
+// groupState is the client's durable view of one stream group. It
+// outlives individual MSU control connections: when a group migrates,
+// the replacement MSU's connection is swapped in and the channels keep
+// delivering.
+type groupState struct {
+	group    uint64
+	vcr      *vcrState // current control connection, nil before first hello
+	lastPos  time.Duration
+	eof      chan wire.StreamEOF
+	migrated chan wire.StreamMigrated
+	lost     chan wire.StreamLost
 }
 
 // vcrState is one accepted MSU control connection.
 type vcrState struct {
 	peer  *wire.Peer
 	hello wire.VCRHello
-	eof   chan wire.StreamEOF
 	down  chan struct{}
 }
 
 // Dial connects to the Coordinator and opens a session for user.
 func Dial(coordinator, user string) (*Client, error) {
-	conn, err := net.Dial("tcp", coordinator)
+	return DialOptions(coordinator, user, Options{})
+}
+
+// DialOptions is Dial with failure-handling knobs.
+func DialOptions(coordinator, user string, opts Options) (*Client, error) {
+	if opts.Dial == nil {
+		opts.Dial = net.Dial
+	}
+	c := &Client{
+		coordinator: coordinator,
+		user:        user,
+		opts:        opts,
+		groups:      make(map[uint64]*groupState),
+		vcrWait:     make(map[uint64][]chan *vcrState),
+		connCh:      make(chan struct{}),
+		quit:        make(chan struct{}),
+	}
+	conn, err := opts.Dial("tcp", coordinator)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing coordinator: %w", err)
 	}
-	c := &Client{
-		vcrByGrp: make(map[uint64]*vcrState),
-		vcrWait:  make(map[uint64][]chan *vcrState),
-	}
-	c.peer = wire.NewPeer(conn, nil, nil)
+	peer := c.newCoordPeer(conn)
 	var welcome wire.Welcome
-	if err := c.peer.Call(wire.TypeHello, wire.Hello{User: user}, &welcome); err != nil {
-		c.peer.Close() //nolint:errcheck // best-effort cleanup; the Call error is what matters
+	if err := peer.Call(wire.TypeHello, wire.Hello{User: user}, &welcome); err != nil {
+		peer.Close() //nolint:errcheck // best-effort cleanup; the Call error is what matters
 		return nil, err
 	}
+	c.mu.Lock()
+	c.peer = peer
 	c.session = welcome.Session
+	close(c.connCh)
+	c.mu.Unlock()
 
 	host, _, _ := net.SplitHostPort(conn.LocalAddr().String())
 	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
-		c.peer.Close() //nolint:errcheck // best-effort cleanup; the listener error is what matters
+		peer.Close() //nolint:errcheck // best-effort cleanup; the listener error is what matters
 		return nil, fmt.Errorf("client: opening control listener: %w", err)
 	}
 	c.vcrLn = ln
@@ -72,8 +133,144 @@ func Dial(coordinator, user string) (*Client, error) {
 	return c, nil
 }
 
-// Session reports the session identifier the Coordinator assigned.
-func (c *Client) Session() core.SessionID { return c.session }
+// newCoordPeer wraps a Coordinator connection with the notification
+// handler and a down-callback tied to this specific peer, so a stale
+// connection's death cannot trigger a second reconnect loop.
+func (c *Client) newCoordPeer(conn net.Conn) *wire.Peer {
+	var p *wire.Peer
+	p = wire.NewPeerStopped(conn, c.handleCoord, func(error) { c.coordDown(p) })
+	p.Start()
+	return p
+}
+
+// handleCoord routes Coordinator notifications to their groups.
+func (c *Client) handleCoord(msgType string, body json.RawMessage) (any, error) {
+	switch msgType {
+	case wire.TypeStreamMigrated:
+		var m wire.StreamMigrated
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, err
+		}
+		g := c.group(m.Group)
+		select {
+		case g.migrated <- m:
+		default:
+		}
+	case wire.TypeStreamLost:
+		var l wire.StreamLost
+		if err := json.Unmarshal(body, &l); err != nil {
+			return nil, err
+		}
+		g := c.group(l.Group)
+		select {
+		case g.lost <- l:
+		default:
+		}
+	}
+	return nil, nil
+}
+
+// coordDown starts the reconnect loop when the current Coordinator
+// connection breaks.
+func (c *Client) coordDown(p *wire.Peer) {
+	c.mu.Lock()
+	if c.closed || c.peer != p || c.reconnecting {
+		c.mu.Unlock()
+		return
+	}
+	c.reconnecting = true
+	c.connCh = make(chan struct{})
+	c.wg.Add(1) // under mu: Close sets closed before waiting
+	c.mu.Unlock()
+	go c.reconnectLoop()
+}
+
+// reconnectLoop redials the Coordinator with capped exponential
+// backoff plus jitter until it gets a session back or the client
+// closes.
+func (c *Client) reconnectLoop() {
+	defer c.wg.Done()
+	b := wire.Backoff{Base: c.opts.ReconnectBase, Cap: c.opts.ReconnectCap}
+	for {
+		t := time.NewTimer(b.Next())
+		select {
+		case <-c.quit:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if c.tryReconnect() {
+			return
+		}
+	}
+}
+
+// tryReconnect performs one redial: hello, then replay the remembered
+// port registrations onto the new session.
+func (c *Client) tryReconnect() bool {
+	conn, err := c.opts.Dial("tcp", c.coordinator)
+	if err != nil {
+		return false
+	}
+	peer := c.newCoordPeer(conn)
+	var welcome wire.Welcome
+	if err := peer.Call(wire.TypeHello, wire.Hello{User: c.user}, &welcome); err != nil {
+		peer.Close() //nolint:errcheck
+		return false
+	}
+	c.mu.Lock()
+	ports := append([]wire.RegisterPort(nil), c.ports...)
+	c.mu.Unlock()
+	for _, req := range ports {
+		if err := peer.Call(wire.TypeRegisterPort, req, nil); err != nil {
+			peer.Close() //nolint:errcheck
+			return false
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		peer.Close() //nolint:errcheck
+		return true
+	}
+	c.peer = peer
+	c.session = welcome.Session
+	c.reconnecting = false
+	close(c.connCh)
+	c.mu.Unlock()
+	return true
+}
+
+// coordPeer returns the current Coordinator connection.
+func (c *Client) coordPeer() *wire.Peer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer
+}
+
+// WaitConnected blocks until the Coordinator connection is up (it
+// returns immediately while connected).
+func (c *Client) WaitConnected(timeout time.Duration) error {
+	c.mu.Lock()
+	ch := c.connCh
+	c.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-t.C:
+		return fmt.Errorf("client: not reconnected to coordinator after %v", timeout)
+	}
+}
+
+// Session reports the session identifier the Coordinator assigned (it
+// changes after a reconnect).
+func (c *Client) Session() core.SessionID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
 
 // ControlAddr is where MSUs dial this client's VCR connections.
 func (c *Client) ControlAddr() string { return c.vcrLn.Addr().String() }
@@ -86,18 +283,44 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	var vcrs []*vcrState
-	for _, v := range c.vcrByGrp {
-		vcrs = append(vcrs, v)
+	close(c.quit)
+	var peers []*wire.Peer
+	for _, g := range c.groups {
+		if g.vcr != nil {
+			peers = append(peers, g.vcr.peer)
+		}
 	}
+	peer := c.peer
 	c.mu.Unlock()
 	c.vcrLn.Close()
-	for _, v := range vcrs {
-		v.peer.Close() //nolint:errcheck // teardown: the session close error below is the one reported
+	for _, p := range peers {
+		p.Close() //nolint:errcheck // teardown: the session close error below is the one reported
 	}
-	err := c.peer.Close()
+	err := peer.Close()
 	c.wg.Wait()
 	return err
+}
+
+// group returns the durable state for a stream group, creating it on
+// first sight (a migration notice can race the play response).
+func (c *Client) group(id uint64) *groupState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.groupLocked(id)
+}
+
+func (c *Client) groupLocked(id uint64) *groupState {
+	g := c.groups[id]
+	if g == nil {
+		g = &groupState{
+			group:    id,
+			eof:      make(chan wire.StreamEOF, 4),
+			migrated: make(chan wire.StreamMigrated, 4),
+			lost:     make(chan wire.StreamLost, 4),
+		}
+		c.groups[id] = g
+	}
+	return g
 }
 
 // acceptVCR takes control connections from MSUs and routes them by
@@ -109,10 +332,7 @@ func (c *Client) acceptVCR() {
 		if err != nil {
 			return
 		}
-		st := &vcrState{
-			eof:  make(chan wire.StreamEOF, 4),
-			down: make(chan struct{}),
-		}
+		st := &vcrState{down: make(chan struct{})}
 		st.peer = wire.NewPeerStopped(conn, func(msgType string, body json.RawMessage) (any, error) {
 			switch msgType {
 			case wire.TypeVCRHello:
@@ -128,8 +348,10 @@ func (c *Client) acceptVCR() {
 				if err := json.Unmarshal(body, &eof); err != nil {
 					return nil, err
 				}
+				g := c.group(st.hello.Group)
+				g.notePos(&c.mu, eof.Pos)
 				select {
-				case st.eof <- eof:
+				case g.eof <- eof:
 				default:
 				}
 				return nil, nil
@@ -141,21 +363,48 @@ func (c *Client) acceptVCR() {
 	}
 }
 
+// registerVCR installs a control connection for a group. A second
+// hello for the same group means the Coordinator re-dispatched it onto
+// another MSU: the stale connection is dropped and the replacement is
+// sought to the last position the client saw.
 func (c *Client) registerVCR(group uint64, st *vcrState) {
 	c.mu.Lock()
-	c.vcrByGrp[group] = st
+	g := c.groupLocked(group)
+	old := g.vcr
+	g.vcr = st
+	pos := g.lastPos
 	waiters := c.vcrWait[group]
 	delete(c.vcrWait, group)
 	c.mu.Unlock()
 	for _, w := range waiters {
 		w <- st
 	}
+	if old != nil {
+		old.peer.Close() //nolint:errcheck // the failed MSU's connection; usually already dead
+		if pos > 0 {
+			// Resume from the last delivered offset on the new MSU.
+			go func() {
+				var ack wire.VCRAck
+				st.peer.Call(wire.TypeVCR, wire.VCR{Op: "seek", Pos: pos}, &ack) //nolint:errcheck // the stream still plays from 0 if the seek races a dying conn
+			}()
+		}
+	}
+}
+
+// notePos records the furthest delivery position seen for the group.
+func (g *groupState) notePos(mu *sync.Mutex, pos time.Duration) {
+	mu.Lock()
+	if pos > g.lastPos {
+		g.lastPos = pos
+	}
+	mu.Unlock()
 }
 
 // waitVCR blocks until the MSU's control connection for group arrives.
 func (c *Client) waitVCR(group uint64, timeout time.Duration) (*vcrState, error) {
 	c.mu.Lock()
-	if st, ok := c.vcrByGrp[group]; ok {
+	if g, ok := c.groups[group]; ok && g.vcr != nil {
+		st := g.vcr
 		c.mu.Unlock()
 		return st, nil
 	}
@@ -175,7 +424,7 @@ func (c *Client) waitVCR(group uint64, timeout time.Duration) (*vcrState, error)
 // ListContent fetches the table of contents.
 func (c *Client) ListContent() ([]core.ContentInfo, error) {
 	var resp wire.ContentList
-	if err := c.peer.Call(wire.TypeListContent, struct{}{}, &resp); err != nil {
+	if err := c.coordPeer().Call(wire.TypeListContent, struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Items, nil
@@ -184,7 +433,7 @@ func (c *Client) ListContent() ([]core.ContentInfo, error) {
 // ListTypes fetches the content-type table.
 func (c *Client) ListTypes() ([]core.ContentType, error) {
 	var resp wire.TypeList
-	if err := c.peer.Call(wire.TypeListTypes, struct{}{}, &resp); err != nil {
+	if err := c.coordPeer().Call(wire.TypeListTypes, struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Types, nil
@@ -193,40 +442,61 @@ func (c *Client) ListTypes() ([]core.ContentType, error) {
 // Status fetches Coordinator load counters.
 func (c *Client) Status() (wire.Status, error) {
 	var resp wire.Status
-	err := c.peer.Call(wire.TypeStatus, struct{}{}, &resp)
+	err := c.coordPeer().Call(wire.TypeStatus, struct{}{}, &resp)
 	return resp, err
 }
 
 // AddType installs a content type (administrative).
 func (c *Client) AddType(t core.ContentType) error {
-	return c.peer.Call(wire.TypeAddType, wire.AddType{Type: t}, nil)
+	return c.coordPeer().Call(wire.TypeAddType, wire.AddType{Type: t}, nil)
 }
 
 // DeleteContent removes a content item (administrative).
 func (c *Client) DeleteContent(name string) error {
-	return c.peer.Call(wire.TypeDeleteContent, wire.DeleteContent{Content: name}, nil)
+	return c.coordPeer().Call(wire.TypeDeleteContent, wire.DeleteContent{Content: name}, nil)
 }
 
 // RegisterPort declares an atomic display port: a typed UDP data
 // destination (and optional protocol-control destination).
 func (c *Client) RegisterPort(name, contentType, dataAddr, ctrlAddr string) error {
-	return c.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{
+	return c.registerPort(wire.RegisterPort{
 		Name: name, Type: contentType, Addr: dataAddr, Control: ctrlAddr,
-	}, nil)
+	})
 }
 
 // RegisterCompositePort declares a composite display port built from
 // previously-registered component ports: components maps component
 // type name to component port name.
 func (c *Client) RegisterCompositePort(name, contentType string, components map[string]string) error {
-	return c.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{
+	return c.registerPort(wire.RegisterPort{
 		Name: name, Type: contentType, Components: components,
-	}, nil)
+	})
+}
+
+func (c *Client) registerPort(req wire.RegisterPort) error {
+	if err := c.coordPeer().Call(wire.TypeRegisterPort, req, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ports = append(c.ports, req)
+	c.mu.Unlock()
+	return nil
 }
 
 // UnregisterPort drops a display port.
 func (c *Client) UnregisterPort(name string) error {
-	return c.peer.Call(wire.TypeUnregisterPort, wire.UnregisterPort{Name: name}, nil)
+	if err := c.coordPeer().Call(wire.TypeUnregisterPort, wire.UnregisterPort{Name: name}, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for i, req := range c.ports {
+		if req.Name == name {
+			c.ports = append(c.ports[:i], c.ports[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // WaitForContent polls the table of contents until name appears —
@@ -274,14 +544,15 @@ func (c *Client) WaitStreamsIdle(timeout time.Duration) error {
 type Stream struct {
 	c    *Client
 	info wire.PlayOK
-	vcr  *vcrState
+	g    *groupState
+	vcr  *vcrState // the original control connection, for Down
 }
 
 // Play asks Calliope to deliver content to the named display port. If
 // wait is set the request queues while resources are busy.
 func (c *Client) Play(content, port string, wait bool) (*Stream, error) {
 	var resp wire.PlayOK
-	err := c.peer.Call(wire.TypePlay, wire.Play{
+	err := c.coordPeer().Call(wire.TypePlay, wire.Play{
 		Content: content, Port: port, ControlAddr: c.ControlAddr(), Wait: wait,
 	}, &resp)
 	if err != nil {
@@ -291,7 +562,7 @@ func (c *Client) Play(content, port string, wait bool) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{c: c, info: resp, vcr: vcr}, nil
+	return &Stream{c: c, info: resp, g: c.group(resp.Group), vcr: vcr}, nil
 }
 
 // Info reports the scheduling result.
@@ -301,14 +572,42 @@ func (s *Stream) Info() wire.PlayOK { return s.info }
 func (s *Stream) Length() time.Duration { return s.info.Length }
 
 // EOF delivers a notification when playback reaches end of content.
-func (s *Stream) EOF() <-chan wire.StreamEOF { return s.vcr.eof }
+func (s *Stream) EOF() <-chan wire.StreamEOF { return s.g.eof }
 
-// Down is closed if the MSU's control connection is lost.
+// Down is closed if the MSU's control connection is lost. After a
+// migration the channel refers to the failed connection; use Migrated
+// and Lost to learn the group's fate.
 func (s *Stream) Down() <-chan struct{} { return s.vcr.down }
+
+// Migrated delivers a notice when the Coordinator re-dispatches this
+// group onto another MSU after a failure.
+func (s *Stream) Migrated() <-chan wire.StreamMigrated { return s.g.migrated }
+
+// Lost delivers a notice when the Coordinator gives up on this group
+// after a failure (no replica, or the queue deadline passed).
+func (s *Stream) Lost() <-chan wire.StreamLost { return s.g.lost }
+
+// NotePosition records the furthest delivery offset the application
+// has consumed; after a migration the replacement stream resumes from
+// here.
+func (s *Stream) NotePosition(pos time.Duration) { s.g.notePos(&s.c.mu, pos) }
+
+// currentVCR is the live control connection for this stream's group.
+func (s *Stream) currentVCR() *vcrState {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.g.vcr != nil {
+		return s.g.vcr
+	}
+	return s.vcr
+}
 
 func (s *Stream) command(op string, pos time.Duration) (wire.VCRAck, error) {
 	var ack wire.VCRAck
-	err := s.vcr.peer.Call(wire.TypeVCR, wire.VCR{Op: op, Pos: pos}, &ack)
+	err := s.currentVCR().peer.Call(wire.TypeVCR, wire.VCR{Op: op, Pos: pos}, &ack)
+	if err == nil {
+		s.g.notePos(&s.c.mu, ack.Pos)
+	}
 	return ack, err
 }
 
@@ -346,7 +645,7 @@ type Recording struct {
 // which the Coordinator reserves disk space.
 func (c *Client) Record(content, contentType, port string, estimate time.Duration, wait bool) (*Recording, error) {
 	var resp wire.RecordOK
-	err := c.peer.Call(wire.TypeRecord, wire.Record{
+	err := c.coordPeer().Call(wire.TypeRecord, wire.Record{
 		Content: content, Type: contentType, Port: port,
 		Estimate: estimate, ControlAddr: c.ControlAddr(), Wait: wait,
 	}, &resp)
@@ -374,6 +673,12 @@ func (r *Recording) Sink(contentType string) (data, ctrl string) {
 		}
 	}
 	return "", ""
+}
+
+// Lost delivers a notice if the recording's MSU fails (recordings
+// cannot migrate: the data lives only on the failed MSU).
+func (r *Recording) Lost() <-chan wire.StreamLost {
+	return r.c.group(r.info.Group).lost
 }
 
 // Stop ends the recording; the MSU commits it and reclaims any

@@ -7,6 +7,7 @@ import (
 
 	"calliope/internal/coordinator"
 	"calliope/internal/core"
+	"calliope/internal/faultinject"
 	"calliope/internal/units"
 )
 
@@ -202,4 +203,66 @@ func TestWaitCountTimeout(t *testing.T) {
 		t.Fatal("WaitCount succeeded with no traffic")
 	}
 	r.Close() // double close is safe
+}
+
+func TestClientReconnectsAfterCoordinatorCut(t *testing.T) {
+	coord := startCoordinator(t)
+	in := faultinject.New(faultinject.Options{})
+	c, err := DialOptions(coord.Addr(), "alice", Options{
+		Dial:          in.Dial(nil),
+		ReconnectBase: 10 * time.Millisecond,
+		ReconnectCap:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RegisterPort("tv", "mpeg1", "127.0.0.1:1", ""); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Session()
+
+	// Sever the session; a couple of redials fail before one lands.
+	in.FailDials(2)
+	in.CutAll()
+	if err := c.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Session() == first {
+		t.Fatal("session id unchanged after reconnect")
+	}
+	// The remembered port was re-registered on the new session: a
+	// duplicate registration is rejected, and a play through it works
+	// once content exists.
+	if err := c.RegisterPort("tv", "mpeg1", "127.0.0.1:1", ""); err == nil {
+		t.Fatal("port not re-registered on new session")
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 {
+		t.Fatalf("sessions = %d, want the dead one dropped", st.Sessions)
+	}
+}
+
+func TestClientReconnectStopsOnClose(t *testing.T) {
+	coord := startCoordinator(t)
+	in := faultinject.New(faultinject.Options{})
+	c, err := DialOptions(coord.Addr(), "alice", Options{
+		Dial:          in.Dial(nil),
+		ReconnectBase: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Partition(true) // every redial fails
+	in.CutAll()
+	done := make(chan error, 1)
+	go func() { done <- c.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on the reconnect loop")
+	}
 }

@@ -59,6 +59,10 @@ type Config struct {
 	// scheduling decisions stay reproducible (the walltime analyzer
 	// bans direct wall-clock reads in this package).
 	Now func() time.Time
+	// Listen supplies the TCP listener; nil means net.Listen. The
+	// fault-injection tests pass an injector-wrapped listener here
+	// (internal/faultinject).
+	Listen func(network, address string) (net.Listener, error)
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -77,6 +81,9 @@ type Coordinator struct {
 	// pending tracks composite recordings by group until every
 	// component commits, at which point the parent item is created.
 	pending map[uint64]*pendingComposite
+	// redispatching marks orphaned groups that already have a recovery
+	// goroutine; a cascading MSU failure must not spawn a second one.
+	redispatching map[uint64]bool
 
 	nextSession core.SessionID
 	nextStream  core.StreamID
@@ -95,6 +102,46 @@ type Coordinator struct {
 type contentRec struct {
 	info     core.ContentInfo
 	children []string // component content names for composite items
+	// locations maps each MSU holding a replica to the disk it lives
+	// on. info.Disk is the primary (preferred) location; the others are
+	// the re-dispatch candidates when an MSU fails (§2.2).
+	locations map[core.MSUID]core.DiskID
+}
+
+// locate reports the disk a replica lives on at the given MSU.
+func (r *contentRec) locate(id core.MSUID) (core.DiskID, bool) {
+	d, ok := r.locations[id]
+	return d, ok
+}
+
+// setLocation records a replica; the first location becomes primary.
+func (r *contentRec) setLocation(d core.DiskID) {
+	if r.locations == nil {
+		r.locations = make(map[core.MSUID]core.DiskID)
+	}
+	r.locations[d.MSU] = d
+	if r.info.Disk == (core.DiskID{}) || r.info.Disk.MSU == d.MSU {
+		r.info.Disk = d
+	}
+}
+
+// dropLocation forgets an MSU's replica, repointing the primary if
+// needed; reports whether any replica remains.
+func (r *contentRec) dropLocation(id core.MSUID) bool {
+	delete(r.locations, id)
+	if len(r.locations) == 0 {
+		return false
+	}
+	if r.info.Disk.MSU == id {
+		// Deterministic repoint: smallest surviving MSU id.
+		var ids []core.MSUID
+		for m := range r.locations {
+			ids = append(ids, m)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		r.info.Disk = r.locations[ids[0]]
+	}
+	return true
 }
 
 type pendingComposite struct {
@@ -137,6 +184,9 @@ type activeStream struct {
 	content string
 	typ     string
 	record  bool
+	// spec is the full stream specification, kept so a failed play
+	// stream can be re-dispatched onto another MSU holding a replica.
+	spec core.StreamSpec
 	// spaceReserved is the block reservation held for a recording.
 	spaceReserved int64
 }
@@ -153,14 +203,15 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg.Now = time.Now
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		types:    make(map[string]core.ContentType),
-		contents: make(map[string]*contentRec),
-		msus:     make(map[core.MSUID]*msuState),
-		sessions: make(map[core.SessionID]*session),
-		active:   make(map[core.StreamID]*activeStream),
-		pending:  make(map[uint64]*pendingComposite),
-		release:  make(chan struct{}),
+		cfg:           cfg,
+		types:         make(map[string]core.ContentType),
+		contents:      make(map[string]*contentRec),
+		msus:          make(map[core.MSUID]*msuState),
+		sessions:      make(map[core.SessionID]*session),
+		active:        make(map[core.StreamID]*activeStream),
+		pending:       make(map[uint64]*pendingComposite),
+		redispatching: make(map[uint64]bool),
+		release:       make(chan struct{}),
 	}
 	for _, t := range cfg.Types {
 		t := t
@@ -174,7 +225,11 @@ func New(cfg Config) (*Coordinator, error) {
 
 // Start begins listening and serving.
 func (c *Coordinator) Start() error {
-	ln, err := net.Listen("tcp", c.cfg.Addr)
+	listen := c.cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", c.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("coordinator: listen %s: %w", c.cfg.Addr, err)
 	}
@@ -524,10 +579,13 @@ func (c *Coordinator) deleteContent(name string) error {
 		}
 	}
 	names := append([]string{name}, rec.children...)
+	// Every replica on every MSU must go; any holder being down fails
+	// the delete (the returning MSU would re-declare the item).
 	type target struct {
 		peer *wire.Peer
 		name string
 		rec  *contentRec
+		disk core.DiskID
 	}
 	var targets []target
 	for _, n := range names {
@@ -535,12 +593,19 @@ func (c *Coordinator) deleteContent(name string) error {
 		if !ok {
 			continue
 		}
-		m := c.msus[r.info.Disk.MSU]
-		if m == nil || !m.alive {
-			c.mu.Unlock()
-			return fmt.Errorf("%w: holding %q", core.ErrMSUUnavailable, n)
+		var holders []core.MSUID
+		for id := range r.locations {
+			holders = append(holders, id)
 		}
-		targets = append(targets, target{peer: m.peer, name: n, rec: r})
+		sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+		for _, id := range holders {
+			m := c.msus[id]
+			if m == nil || !m.alive {
+				c.mu.Unlock()
+				return fmt.Errorf("%w: holding %q", core.ErrMSUUnavailable, n)
+			}
+			targets = append(targets, target{peer: m.peer, name: n, rec: r, disk: r.locations[id]})
+		}
 	}
 	c.mu.Unlock()
 
@@ -551,8 +616,8 @@ func (c *Coordinator) deleteContent(name string) error {
 	}
 	c.mu.Lock()
 	for _, t := range targets {
-		// Return the item's disk space to the free pool.
-		d := c.diskState(t.rec.info.Disk)
+		// Return the replica's disk space to the free pool.
+		d := c.diskState(t.disk)
 		if d != nil {
 			blocks := (int64(t.rec.info.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
 			adjustCapacityLocked(d.space, blocks)

@@ -317,7 +317,21 @@ func TestMSUDownReleasesStreams(t *testing.T) {
 	c := startCoordinator(t, Config{})
 	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1"}}
 	mp := fakeMSUPeer(t, c, "m1", decl, 1500*units.Kbps)
-	p := clientPeer(t, c)
+	migrated := make(chan wire.StreamMigrated, 1)
+	p := dialPeer(t, c, func(msgType string, body json.RawMessage) (any, error) {
+		if msgType == wire.TypeStreamMigrated {
+			var m wire.StreamMigrated
+			json.Unmarshal(body, &m) //nolint:errcheck
+			select {
+			case migrated <- m:
+			default:
+			}
+		}
+		return nil, nil
+	})
+	if err := p.Call(wire.TypeHello, wire.Hello{User: "t"}, &wire.Welcome{}); err != nil {
+		t.Fatal(err)
+	}
 	p.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
 	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, nil); err != nil {
 		t.Fatal(err)
@@ -341,8 +355,18 @@ func TestMSUDownReleasesStreams(t *testing.T) {
 	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, nil); err == nil {
 		t.Fatal("play against dead MSU accepted")
 	}
-	// Re-registration restores service.
-	fakeMSUPeer(t, c, "m1", decl, 1500*units.Kbps)
+	// Re-registration restores service: the orphaned stream migrates
+	// onto the returned MSU (the client hears stream-migrated) and a new
+	// play fits alongside it.
+	fakeMSUPeer(t, c, "m1", decl, 3000*units.Kbps)
+	select {
+	case m := <-migrated:
+		if m.MSU != "m1" || len(m.Streams) != 1 {
+			t.Fatalf("migration notice: %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no stream-migrated notification after MSU returned")
+	}
 	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, nil); err != nil {
 		t.Fatalf("play after recovery: %v", err)
 	}

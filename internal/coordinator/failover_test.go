@@ -1,0 +1,390 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/units"
+	"calliope/internal/wire"
+)
+
+// notedClient opens a session whose peer records stream-migrated and
+// stream-lost notifications.
+type notedClient struct {
+	peer     *wire.Peer
+	migrated chan wire.StreamMigrated
+	lost     chan wire.StreamLost
+}
+
+func newNotedClient(t *testing.T, c *Coordinator) *notedClient {
+	t.Helper()
+	nc := &notedClient{
+		migrated: make(chan wire.StreamMigrated, 4),
+		lost:     make(chan wire.StreamLost, 4),
+	}
+	nc.peer = dialPeer(t, c, func(msgType string, body json.RawMessage) (any, error) {
+		switch msgType {
+		case wire.TypeStreamMigrated:
+			var m wire.StreamMigrated
+			json.Unmarshal(body, &m) //nolint:errcheck
+			nc.migrated <- m
+		case wire.TypeStreamLost:
+			var l wire.StreamLost
+			json.Unmarshal(body, &l) //nolint:errcheck
+			nc.lost <- l
+		}
+		return nil, nil
+	})
+	if err := nc.peer.Call(wire.TypeHello, wire.Hello{User: "t"}, &wire.Welcome{}); err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// recordingMSUPeer is fakeMSUPeer plus a log of StartStream specs.
+func recordingMSUPeer(t *testing.T, c *Coordinator, id core.MSUID, contents []wire.ContentDecl, bw units.BitRate) (*wire.Peer, chan core.StreamSpec) {
+	t.Helper()
+	specs := make(chan core.StreamSpec, 16)
+	p := dialPeer(t, c, func(msgType string, body json.RawMessage) (any, error) {
+		if msgType == wire.TypeStartStream {
+			var req wire.StartStream
+			json.Unmarshal(body, &req) //nolint:errcheck
+			specs <- req.Spec
+			return &wire.StartStreamOK{DataAddr: "127.0.0.1:9"}, nil
+		}
+		return nil, nil
+	})
+	hello := wire.MSUHello{ID: id, Disks: []wire.DiskInfo{{
+		BlockSize:   64 * 1024,
+		TotalBlocks: 1000,
+		FreeBlocks:  900,
+		Bandwidth:   bw,
+		Contents:    contents,
+	}}}
+	if err := p.Call(wire.TypeMSUHello, hello, &wire.MSUWelcome{}); err != nil {
+		t.Fatal(err)
+	}
+	return p, specs
+}
+
+// TestRedispatchToReplica: a play stream whose MSU dies moves onto the
+// other MSU declaring the same content, keeping its stream ID, and the
+// client is told via stream-migrated (§2.2 fault tolerance).
+func TestRedispatchToReplica(t *testing.T) {
+	c := startCoordinator(t, Config{})
+	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1"}}
+	m1, specs1 := recordingMSUPeer(t, c, "m1", decl, 1500*units.Kbps)
+	_, specs2 := recordingMSUPeer(t, c, "m2", decl, 1500*units.Kbps)
+	nc := newNotedClient(t, c)
+	nc.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	var ok wire.PlayOK
+	if err := nc.peer.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.MSU != "m1" {
+		t.Fatalf("play placed on %q, want primary m1", ok.MSU)
+	}
+	orig := <-specs1
+
+	m1.Close()
+	select {
+	case m := <-nc.migrated:
+		if m.MSU != "m2" || m.Group != ok.Group {
+			t.Fatalf("migration notice: %+v", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no stream-migrated notification")
+	}
+	select {
+	case spec := <-specs2:
+		if spec.Stream != orig.Stream || spec.Group != orig.Group {
+			t.Fatalf("re-dispatched spec %+v, want same stream/group as %+v", spec, orig)
+		}
+		if spec.Content != "movie" {
+			t.Fatalf("re-dispatched content %q", spec.Content)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("replacement MSU never saw start-stream")
+	}
+	// The stream stays active, now accounted against m2.
+	var st wire.Status
+	if err := nc.peer.Call(wire.TypeStatus, struct{}{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ActiveStreams != 1 {
+		t.Fatalf("active streams = %d, want 1", st.ActiveStreams)
+	}
+	for _, d := range st.Disks {
+		if d.Disk.MSU == "m2" && d.BandwidthUsed != 1500*units.Kbps {
+			t.Fatalf("m2 bandwidth = %v, want one mpeg1 slot", d.BandwidthUsed)
+		}
+	}
+}
+
+// TestRedispatchLostWhenNoReplica: with no surviving replica the queued
+// re-dispatch gives up at QueueTimeout and the client hears
+// stream-lost — never a silent hang.
+func TestRedispatchLostWhenNoReplica(t *testing.T) {
+	c := startCoordinator(t, Config{QueueTimeout: 50 * time.Millisecond})
+	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1"}}
+	m1 := fakeMSUPeer(t, c, "m1", decl, 1500*units.Kbps)
+	nc := newNotedClient(t, c)
+	nc.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	if err := nc.peer.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	select {
+	case l := <-nc.lost:
+		if l.Reason == "" {
+			t.Fatal("stream-lost without a reason")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no stream-lost notification")
+	}
+}
+
+// TestRedispatchSingleOwnerOnCascadingFailure: the replacement MSU dies
+// while the re-dispatch start-stream is in flight. Its msuDown finds
+// the group's streams re-registered in the active table and must leave
+// recovery to the goroutine that owns the group — a second recovery
+// goroutine would race the first (regression: the client used to
+// receive duplicate stream-lost notices, one per goroutine).
+func TestRedispatchSingleOwnerOnCascadingFailure(t *testing.T) {
+	c := startCoordinator(t, Config{QueueTimeout: 200 * time.Millisecond})
+	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1"}}
+	m1, _ := recordingMSUPeer(t, c, "m1", decl, 1500*units.Kbps)
+	var m2 *wire.Peer
+	m2 = dialPeer(t, c, func(msgType string, body json.RawMessage) (any, error) {
+		if msgType == wire.TypeStartStream {
+			// Die mid-dispatch: the Coordinator's RPC fails and m2's own
+			// msuDown runs while the redispatcher still owns the group.
+			m2.Close()
+			return nil, errors.New("crashed")
+		}
+		return nil, nil
+	})
+	hello := wire.MSUHello{ID: "m2", Disks: []wire.DiskInfo{{
+		BlockSize:   64 * 1024,
+		TotalBlocks: 1000,
+		FreeBlocks:  900,
+		Bandwidth:   1500 * units.Kbps,
+		Contents:    decl,
+	}}}
+	if err := m2.Call(wire.TypeMSUHello, hello, &wire.MSUWelcome{}); err != nil {
+		t.Fatal(err)
+	}
+
+	nc := newNotedClient(t, c)
+	nc.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	var ok wire.PlayOK
+	if err := nc.peer.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.MSU != "m1" {
+		t.Fatalf("play placed on %q, want primary m1", ok.MSU)
+	}
+
+	m1.Close()
+	select {
+	case l := <-nc.lost:
+		if l.Group != ok.Group {
+			t.Fatalf("lost notice for group %d, want %d", l.Group, ok.Group)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no stream-lost after cascading failure")
+	}
+	// Exactly one verdict: no duplicate notices from a second goroutine.
+	select {
+	case l := <-nc.lost:
+		t.Fatalf("duplicate stream-lost: %+v", l)
+	case m := <-nc.migrated:
+		t.Fatalf("stream-migrated after lost: %+v", m)
+	case <-time.After(300 * time.Millisecond):
+	}
+	var st wire.Status
+	if err := nc.peer.Call(wire.TypeStatus, struct{}{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ActiveStreams != 0 {
+		t.Fatalf("active streams = %d after lost group", st.ActiveStreams)
+	}
+}
+
+// TestRecordingLostOnMSUDown: a recording cannot migrate — its data
+// lives only on the failed MSU — so the client hears stream-lost
+// immediately, and the dead MSU's bandwidth and space reservations are
+// gone from the ledgers when it re-registers.
+func TestRecordingLostOnMSUDown(t *testing.T) {
+	c := startCoordinator(t, Config{})
+	m1 := fakeMSUPeer(t, c, "m1", nil, 3000*units.Kbps)
+	nc := newNotedClient(t, c)
+	nc.peer.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	var ok wire.RecordOK
+	req := wire.Record{Content: "clip", Type: "mpeg1", Port: "tv", ControlAddr: "a:9", Estimate: time.Minute}
+	if err := nc.peer.Call(wire.TypeRecord, req, &ok); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	select {
+	case l := <-nc.lost:
+		if l.Group != ok.Group || !strings.Contains(l.Reason, "recording") {
+			t.Fatalf("lost notice: %+v", l)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no stream-lost for failed recording")
+	}
+	// Re-registration starts from clean ledgers: full bandwidth, only
+	// the standing space, no leaked stream reservations.
+	fakeMSUPeer(t, c, "m1", nil, 3000*units.Kbps)
+	var st wire.Status
+	if err := nc.peer.Call(wire.TypeStatus, struct{}{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ActiveStreams != 0 {
+		t.Fatalf("active streams = %d after recording lost", st.ActiveStreams)
+	}
+	for _, d := range st.Disks {
+		if d.Disk.MSU != "m1" {
+			continue
+		}
+		if d.BandwidthUsed != 0 {
+			t.Fatalf("bandwidth leaked across failure: %v", d.BandwidthUsed)
+		}
+		if d.SpaceUsed != 100*64*1024 { // 1000 total − 900 free blocks
+			t.Fatalf("space used = %v, want standing only", d.SpaceUsed)
+		}
+	}
+	// The full recording capacity is available again.
+	if err := nc.peer.Call(wire.TypeRecord, req, &ok); err != nil {
+		t.Fatalf("record after recovery: %v", err)
+	}
+}
+
+// TestQueuedPlayAdmittedAfterMSUFailure: a queued request sees the
+// bandwidth freed by a failure once the MSU returns (the failed
+// client's stream is not re-dispatched because its session is gone).
+func TestQueuedPlayAdmittedAfterMSUFailure(t *testing.T) {
+	c := startCoordinator(t, Config{QueueTimeout: 5 * time.Second})
+	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1"}}
+	m1 := fakeMSUPeer(t, c, "m1", decl, 1500*units.Kbps) // one mpeg1 slot
+	p1 := clientPeer(t, c)
+	p1.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	if err := p1.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The first client crashes; its stream still holds the only slot.
+	p1.Close()
+
+	p2 := clientPeer(t, c)
+	p2.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	done := make(chan error, 1)
+	go func() {
+		done <- p2.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9", Wait: true}, nil)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("play admitted with no bandwidth: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// MSU fails and returns; the dead session's stream is dropped, so
+	// the queued play gets the freed slot.
+	m1.Close()
+	time.Sleep(50 * time.Millisecond)
+	fakeMSUPeer(t, c, "m1", decl, 1500*units.Kbps)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued play after failure: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("queued play never admitted after MSU returned")
+	}
+}
+
+// TestClientDownFreesPorts: a dying client session deallocates its
+// display ports (§2.1) so the server does not accumulate dead state.
+func TestClientDownFreesPorts(t *testing.T) {
+	c := startCoordinator(t, Config{})
+	p1 := clientPeer(t, c)
+	if err := p1.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	p1.Close()
+	p2 := clientPeer(t, c)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var st wire.Status
+		if err := p2.Call(wire.TypeStatus, struct{}{}, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Sessions == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead session lingers: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReregisterDropsStaleContent: an MSU that re-registers without an
+// item it used to declare must not leave the item schedulable
+// (regression: msuHello only ever merged, never swept).
+func TestReregisterDropsStaleContent(t *testing.T) {
+	c := startCoordinator(t, Config{})
+	decl := []wire.ContentDecl{
+		{Name: "movie", Type: "mpeg1"},
+		{Name: "short", Type: "mpeg1"},
+	}
+	m1 := fakeMSUPeer(t, c, "m1", decl, 3000*units.Kbps)
+	m1.Close()
+	// Return minus "short" (deleted while the MSU was down).
+	fakeMSUPeer(t, c, "m1", decl[:1], 3000*units.Kbps)
+
+	p := clientPeer(t, c)
+	var cl wire.ContentList
+	if err := p.Call(wire.TypeListContent, struct{}{}, &cl); err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range cl.Items {
+		if item.Name == "short" {
+			t.Fatal("stale content still listed after re-registration")
+		}
+	}
+	p.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	err := p.Call(wire.TypePlay, wire.Play{Content: "short", Port: "tv", ControlAddr: "a:9"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no such content") {
+		t.Fatalf("play of stale content: %v", err)
+	}
+	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, nil); err != nil {
+		t.Fatalf("surviving content unplayable: %v", err)
+	}
+}
+
+// TestReregisterDropsOnlyOwnReplica: sweeping stale declarations must
+// not delete content still held by another MSU — only the stale
+// location is forgotten and plays move to the surviving replica.
+func TestReregisterDropsOnlyOwnReplica(t *testing.T) {
+	c := startCoordinator(t, Config{})
+	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1"}}
+	m1 := fakeMSUPeer(t, c, "m1", decl, 1500*units.Kbps)
+	fakeMSUPeer(t, c, "m2", decl, 1500*units.Kbps)
+	m1.Close()
+	// m1 returns with nothing on disk.
+	fakeMSUPeer(t, c, "m1", nil, 1500*units.Kbps)
+
+	p := clientPeer(t, c)
+	p.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "a:1"}, nil) //nolint:errcheck
+	var ok wire.PlayOK
+	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "a:9"}, &ok); err != nil {
+		t.Fatalf("play after replica loss: %v", err)
+	}
+	if ok.MSU != "m2" {
+		t.Fatalf("play placed on %q, want surviving replica m2", ok.MSU)
+	}
+}

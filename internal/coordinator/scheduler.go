@@ -49,6 +49,7 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 		return nil, fmt.Errorf("%w: MSU %q already registered", core.ErrDuplicateName, req.ID)
 	}
 	m = &msuState{id: req.ID, peer: ctx.peer, alive: true}
+	declared := make(map[string]bool)
 	for i, di := range req.Disks {
 		if di.BlockSize <= 0 || di.TotalBlocks <= 0 {
 			return nil, fmt.Errorf("%w: disk %d geometry", core.ErrBadRequest, i)
@@ -72,20 +73,37 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 		}
 		m.disks = append(m.disks, &diskState{blockSize: di.BlockSize, bw: bw, space: space})
 		for _, decl := range di.Contents {
-			c.contents[decl.Name] = &contentRec{info: core.ContentInfo{
-				Name:    decl.Name,
-				Type:    decl.Type,
-				Length:  decl.Length,
-				Size:    decl.Size,
-				Disk:    core.DiskID{MSU: req.ID, N: i},
-				HasFast: decl.HasFast,
-			}}
+			declared[decl.Name] = true
+			rec := c.contents[decl.Name]
+			if rec == nil {
+				rec = &contentRec{info: core.ContentInfo{
+					Name:    decl.Name,
+					Type:    decl.Type,
+					Length:  decl.Length,
+					Size:    decl.Size,
+					HasFast: decl.HasFast,
+				}}
+				c.contents[decl.Name] = rec
+			}
+			rec.setLocation(core.DiskID{MSU: req.ID, N: i})
 		}
 	}
-	// Re-link composite items whose children just reappeared.
-	for _, rec := range c.contents {
+	// Sweep stale declarations: anything this MSU used to hold but no
+	// longer declares (deleted while down, or a disk removed) must not
+	// stay schedulable — clients would be dispatched onto nonexistent
+	// content. Composite parents are Coordinator-side records, never
+	// declared by MSUs, so they are exempt; a parent with missing
+	// children fails at expandContent instead.
+	for name, rec := range c.contents {
 		if t, ok := c.types[rec.info.Type]; ok && t.Composite() {
-			rec.children = rec.info.Children
+			rec.children = rec.info.Children // re-link reappeared children
+			continue
+		}
+		if _, held := rec.locations[req.ID]; held && !declared[name] {
+			if !rec.dropLocation(req.ID) {
+				delete(c.contents, name)
+				c.logf("content %q dropped: MSU %q no longer declares it", name, req.ID)
+			}
 		}
 	}
 	c.msus[req.ID] = m
@@ -126,25 +144,290 @@ func (c *Coordinator) waitMSUReleaseLocked(id core.MSUID) *msuState {
 	}
 }
 
-// msuDown marks a failed MSU unavailable and releases every
-// reservation held by its streams (§2.2 fault tolerance).
+// msuDown marks a failed MSU unavailable, releases every reservation
+// held by its streams, and tries to re-dispatch each orphaned play
+// group onto another MSU holding the same content (§2.2 fault
+// tolerance). Groups that cannot move immediately join the paper's
+// pending queue (they wait for released resources up to QueueTimeout);
+// the client hears the outcome as a stream-migrated or stream-lost
+// notification on its session connection.
 func (c *Coordinator) msuDown(m *msuState) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	cur := c.msus[m.id]
 	if cur != m {
+		c.mu.Unlock()
 		return // a newer registration replaced this one
 	}
 	m.alive = false
+	groups := make(map[uint64]*failedGroup)
 	for id, a := range c.active {
 		if a.msu != m.id {
 			continue
 		}
 		c.releaseStreamLocked(a)
 		delete(c.active, id)
+		g := groups[a.group]
+		if g == nil {
+			g = &failedGroup{id: a.group, session: a.session}
+			groups[a.group] = g
+		}
+		g.streams = append(g.streams, a)
+		if a.record {
+			g.record = true
+		}
 	}
-	c.logf("MSU %q down", m.id)
+	c.logf("MSU %q down (%d stream groups orphaned)", m.id, len(groups))
+	var lost, moved []*failedGroup
+	for _, g := range groups {
+		// Deterministic StartStream order on the replacement MSU.
+		sort.Slice(g.streams, func(i, j int) bool { return g.streams[i].id < g.streams[j].id })
+		if g.record {
+			// A recording's data lives only on the failed MSU; there is
+			// nothing to migrate to.
+			lost = append(lost, g)
+		} else {
+			moved = append(moved, g)
+		}
+	}
+	if !c.closed {
+		// A group may already be mid-recovery: its redispatcher placed it
+		// on this MSU and the start-stream RPC was in flight when the MSU
+		// died. The owner sees its entries vanish and keeps retrying; a
+		// second goroutine would race it (duplicate notifications, or the
+		// group started twice on different MSUs).
+		kept := moved[:0]
+		for _, g := range moved {
+			if c.redispatching[g.id] {
+				continue
+			}
+			c.redispatching[g.id] = true
+			kept = append(kept, g)
+		}
+		moved = kept
+		// Add under the lock so Close's wg.Wait cannot race the Add.
+		c.wg.Add(len(moved))
+	} else {
+		moved = nil
+	}
 	c.signalRelease()
+	c.mu.Unlock()
+
+	for _, g := range lost {
+		c.notifyGroupLost(g.session, g.id, fmt.Sprintf("recording MSU %q failed", m.id))
+	}
+	for _, g := range moved {
+		go func(g *failedGroup) {
+			defer c.wg.Done()
+			c.redispatchGroup(g)
+		}(g)
+	}
+}
+
+// failedGroup is one stream group orphaned by an MSU failure.
+type failedGroup struct {
+	id      uint64
+	session core.SessionID
+	record  bool
+	streams []*activeStream
+}
+
+// redispatchGroup retries placement of an orphaned play group until it
+// lands on a live MSU or the queue deadline passes — the same pending
+// queue discipline as a client-side Wait-ing play.
+func (c *Coordinator) redispatchGroup(g *failedGroup) {
+	defer func() {
+		c.mu.Lock()
+		delete(c.redispatching, g.id)
+		c.mu.Unlock()
+	}()
+	deadline := c.cfg.Now().Add(c.cfg.QueueTimeout)
+	reason := "no MSU holds a replica"
+	for {
+		done, retry, why := c.tryRedispatch(g)
+		if done {
+			return
+		}
+		if why != "" {
+			reason = why
+		}
+		if !retry {
+			c.notifyGroupLost(g.session, g.id, reason)
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		ch := c.release
+		c.mu.Unlock()
+		remain := deadline.Sub(c.cfg.Now())
+		if remain <= 0 {
+			c.notifyGroupLost(g.session, g.id, reason)
+			return
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			c.notifyGroupLost(g.session, g.id, reason)
+			return
+		}
+	}
+}
+
+// tryRedispatch attempts one placement pass for an orphaned group.
+// done means the group's fate is settled (migrated, or client gone);
+// retry reports whether waiting on the pending queue could help.
+func (c *Coordinator) tryRedispatch(g *failedGroup) (done, retry bool, reason string) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return true, false, ""
+	}
+	if _, ok := c.sessions[g.session]; !ok {
+		c.mu.Unlock()
+		return true, false, "" // client gone; no one to deliver to
+	}
+	parts := make([]*contentRec, 0, len(g.streams))
+	for _, a := range g.streams {
+		rec, ok := c.contents[a.content]
+		if !ok {
+			c.mu.Unlock()
+			return false, true, fmt.Sprintf("content %q no longer registered", a.content)
+		}
+		parts = append(parts, rec)
+	}
+	m, disks, ok := c.placePlayLocked(parts)
+	if !ok {
+		c.mu.Unlock()
+		return false, true, "no live MSU holds a replica"
+	}
+	reserved := 0
+	rollback := func() {
+		for i := 0; i < reserved; i++ {
+			a := g.streams[i]
+			if c.active[a.id] != a {
+				continue // the replacement's own msuDown already released it
+			}
+			m.disks[disks[i]].bw.Release(uint64(a.id)) //nolint:errcheck
+			delete(c.active, a.id)
+		}
+	}
+	for i, a := range g.streams {
+		if err := m.disks[disks[i]].bw.Reserve(uint64(a.id), int64(a.spec.Rate)); err != nil {
+			rollback()
+			c.mu.Unlock()
+			return false, true, fmt.Sprintf("MSU %q has a replica but no bandwidth", m.id)
+		}
+		reserved++
+		a.msu = m.id
+		a.disk = disks[i]
+		a.spec.Disk = disks[i]
+		c.active[a.id] = a
+	}
+	peer := m.peer
+	specs := make([]core.StreamSpec, len(g.streams))
+	for i, a := range g.streams {
+		specs[i] = a.spec
+	}
+	c.mu.Unlock()
+
+	started := 0
+	var callErr error
+	for _, spec := range specs {
+		if callErr = peer.CallTimeout(wire.TypeStartStream, wire.StartStream{Spec: spec}, nil, msuRPCTimeout); callErr != nil {
+			break
+		}
+		started++
+	}
+	if callErr != nil {
+		for i := 0; i < started; i++ {
+			peer.Notify(wire.TypeStopStream, wire.StopStream{Stream: specs[i].Stream}) //nolint:errcheck
+		}
+		c.mu.Lock()
+		rollback()
+		c.signalRelease()
+		c.mu.Unlock()
+		return false, true, fmt.Sprintf("re-dispatch to %q failed: %v", m.id, callErr)
+	}
+
+	note := wire.StreamMigrated{Group: g.id, MSU: m.id}
+	for _, a := range g.streams {
+		note.Streams = append(note.Streams, wire.StreamInfo{Stream: a.id, Content: a.content, Type: a.typ})
+	}
+	c.mu.Lock()
+	for _, a := range g.streams {
+		if c.active[a.id] != a {
+			// The replacement died between start-stream and here; its
+			// msuDown released the entries and left recovery to us.
+			c.mu.Unlock()
+			return false, true, fmt.Sprintf("MSU %q failed during re-dispatch", m.id)
+		}
+	}
+	var speer *wire.Peer
+	if s := c.sessions[g.session]; s != nil {
+		speer = s.peer
+	}
+	c.mu.Unlock()
+	if speer != nil {
+		speer.Notify(wire.TypeStreamMigrated, note) //nolint:errcheck // the session may be dying; nothing more to do
+	}
+	c.logf("group %d re-dispatched to MSU %q", g.id, m.id)
+	return true, false, ""
+}
+
+// notifyGroupLost tells the client its group died with its MSU.
+func (c *Coordinator) notifyGroupLost(sess core.SessionID, group uint64, reason string) {
+	c.mu.Lock()
+	var peer *wire.Peer
+	if s := c.sessions[sess]; s != nil {
+		peer = s.peer
+	}
+	c.mu.Unlock()
+	if peer != nil {
+		peer.Notify(wire.TypeStreamLost, wire.StreamLost{Group: group, Reason: reason}) //nolint:errcheck
+	}
+	c.logf("group %d lost: %s", group, reason)
+}
+
+// placePlayLocked finds a live MSU holding a replica of every part,
+// preferring the first part's primary location, then MSU id order
+// (deterministic). Returns the disk index per part. Callers hold c.mu.
+func (c *Coordinator) placePlayLocked(parts []*contentRec) (*msuState, []int, bool) {
+	try := func(id core.MSUID) (*msuState, []int, bool) {
+		m := c.msus[id]
+		if m == nil || !m.alive {
+			return nil, nil, false
+		}
+		disks := make([]int, len(parts))
+		for i, p := range parts {
+			loc, ok := p.locate(id)
+			if !ok || loc.N < 0 || loc.N >= len(m.disks) {
+				return nil, nil, false
+			}
+			disks[i] = loc.N
+		}
+		return m, disks, true
+	}
+	if m, disks, ok := try(parts[0].info.Disk.MSU); ok {
+		return m, disks, true
+	}
+	var ids []core.MSUID
+	for id := range parts[0].locations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if id == parts[0].info.Disk.MSU {
+			continue // already tried
+		}
+		if m, disks, ok := try(id); ok {
+			return m, disks, true
+		}
+	}
+	return nil, nil, false
 }
 
 // releaseStreamLocked frees a stream's ledger entries. Callers hold
@@ -203,13 +486,14 @@ func (ctx *connCtx) recordingDone(req wire.RecordingDone) error {
 	}
 	blocks := (int64(req.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
 	d.space.AddStanding(blocks) //nolint:errcheck
-	c.contents[req.Content] = &contentRec{info: core.ContentInfo{
+	rec := &contentRec{info: core.ContentInfo{
 		Name:   req.Content,
 		Type:   req.Type,
 		Length: req.Length,
 		Size:   req.Size,
-		Disk:   core.DiskID{MSU: m.id, N: req.Disk},
 	}}
+	rec.setLocation(core.DiskID{MSU: m.id, N: req.Disk})
+	c.contents[req.Content] = rec
 	// Composite recording: once every component has committed, publish
 	// the parent item.
 	if pc, ok := c.pending[a.group]; ok && pc.waiting[req.Content] {
@@ -224,17 +508,18 @@ func (ctx *connCtx) recordingDone(req wire.RecordingDone) error {
 		}
 		if len(pc.waiting) == 0 {
 			delete(c.pending, a.group)
-			c.contents[pc.parent] = &contentRec{
+			parent := &contentRec{
 				info: core.ContentInfo{
 					Name:     pc.parent,
 					Type:     pc.typ,
 					Length:   pc.length,
 					Size:     units.ByteSize(pc.size),
-					Disk:     pc.disk,
 					Children: pc.done,
 				},
 				children: pc.done,
 			}
+			parent.setLocation(pc.disk)
+			c.contents[pc.parent] = parent
 			c.logf("composite %q assembled from %v", pc.parent, pc.done)
 		}
 	}
@@ -415,11 +700,10 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 		return nil, false, fmt.Errorf("%w: content %q is %q, port %q is %q",
 			core.ErrTypeMismatch, req.Content, parent.info.Type, port.Name, port.Type)
 	}
-	msuID := parts[0].info.Disk.MSU
-	m := c.msus[msuID]
-	if m == nil || !m.alive {
+	m, disks, found := c.placePlayLocked(parts)
+	if !found {
 		c.mu.Unlock()
-		return nil, true, fmt.Errorf("%w: %q", core.ErrMSUUnavailable, msuID)
+		return nil, true, fmt.Errorf("%w: no live MSU holds %q", core.ErrMSUUnavailable, req.Content)
 	}
 	if req.ControlAddr == "" {
 		c.mu.Unlock()
@@ -436,13 +720,7 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 			delete(c.active, p.spec.Stream)
 		}
 	}
-	for _, part := range parts {
-		if part.info.Disk.MSU != msuID {
-			rollback()
-			c.mu.Unlock()
-			return nil, false, fmt.Errorf("%w: stream group split across MSUs (%q vs %q)",
-				core.ErrBadRequest, msuID, part.info.Disk.MSU)
-		}
+	for pi, part := range parts {
 		t, ok := c.types[part.info.Type]
 		if !ok {
 			rollback()
@@ -455,31 +733,33 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 			c.mu.Unlock()
 			return nil, false, err
 		}
-		d := m.disks[part.info.Disk.N]
+		d := m.disks[disks[pi]]
 		c.nextStream++
 		id := c.nextStream
 		if err := d.bw.Reserve(uint64(id), int64(t.Bandwidth)); err != nil {
 			rollback()
 			c.mu.Unlock()
-			return nil, true, fmt.Errorf("%w: disk %v bandwidth", core.ErrNoResources, part.info.Disk)
+			return nil, true, fmt.Errorf("%w: disk %v bandwidth", core.ErrNoResources, core.DiskID{MSU: m.id, N: disks[pi]})
 		}
 		spec := core.StreamSpec{
 			Stream:    id,
 			Group:     group,
+			GroupSize: len(parts),
 			Content:   part.info.Name,
 			Type:      part.info.Type,
 			Protocol:  t.Protocol,
 			Class:     t.Class,
 			Rate:      t.Bandwidth,
-			Disk:      part.info.Disk.N,
+			Disk:      disks[pi],
 			DestAddr:  data,
 			CtrlAddr:  ctrl,
 			ClientTCP: req.ControlAddr,
 		}
 		planned = append(planned, plannedStream{spec: spec, rec: part})
 		c.active[id] = &activeStream{
-			id: id, group: group, msu: msuID, disk: part.info.Disk.N,
+			id: id, group: group, msu: m.id, disk: disks[pi],
 			session: s.id, content: part.info.Name, typ: part.info.Type,
+			spec: spec,
 		}
 	}
 	peer := m.peer
@@ -489,7 +769,6 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 	started := 0
 	var callErr error
 	for _, p := range planned {
-		p.spec.GroupSize = len(planned)
 		if callErr = peer.CallTimeout(wire.TypeStartStream, wire.StartStream{Spec: p.spec}, nil, msuRPCTimeout); callErr != nil {
 			break
 		}
@@ -502,10 +781,10 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 		c.mu.Lock()
 		rollback()
 		c.mu.Unlock()
-		return nil, false, fmt.Errorf("coordinator: starting stream on %q: %w", msuID, callErr)
+		return nil, false, fmt.Errorf("coordinator: starting stream on %q: %w", m.id, callErr)
 	}
 
-	out := &wire.PlayOK{Group: group, MSU: msuID, Length: parent.info.Length, Size: parent.info.Size}
+	out := &wire.PlayOK{Group: group, MSU: m.id, Length: parent.info.Length, Size: parent.info.Size}
 	for _, p := range planned {
 		out.Streams = append(out.Streams, wire.StreamInfo{
 			Stream: p.spec.Stream, Content: p.spec.Content, Type: p.spec.Type,
@@ -701,6 +980,7 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 		spec := core.StreamSpec{
 			Stream:    id,
 			Group:     group,
+			GroupSize: len(parts),
 			Content:   p.name,
 			Type:      p.typ,
 			Protocol:  p.t.Protocol,
@@ -717,7 +997,7 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 		c.active[id] = &activeStream{
 			id: id, group: group, msu: chosen.id, disk: placement[pi],
 			session: s.id, content: p.name, typ: p.typ, record: true,
-			spaceReserved: blocks,
+			spaceReserved: blocks, spec: spec,
 		}
 	}
 	peer := chosen.peer
@@ -727,7 +1007,6 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 	started := 0
 	var callErr error
 	for _, spec := range planned {
-		spec.GroupSize = len(planned)
 		var ok wire.StartStreamOK
 		if callErr = peer.CallTimeout(wire.TypeStartStream, wire.StartStream{Spec: spec}, &ok, msuRPCTimeout); callErr != nil {
 			break

@@ -58,13 +58,38 @@ func (g *group) length() time.Duration {
 	return max
 }
 
+// clientDialAttempts bounds the control-connection retry loop: a
+// client that is momentarily busy (or whose accept loop lost the race
+// with our dial) gets a few chances before the group is abandoned.
+const clientDialAttempts = 4
+
 // connectClient opens the VCR control connection to the client, sends
 // the hello, and starts every member — playback members begin
-// delivering, recorders begin accepting.
+// delivering, recorders begin accepting. The dial is retried a few
+// times with short backoff; one dropped SYN must not kill a stream
+// group that the Coordinator already reserved resources for.
 func (g *group) connectClient() error {
-	conn, err := net.DialTimeout("tcp", g.clientTCP, 5*time.Second)
-	if err != nil {
-		return fmt.Errorf("dialing %s: %w", g.clientTCP, err)
+	var conn net.Conn
+	var err error
+	b := wire.Backoff{Base: 50 * time.Millisecond, Cap: time.Second}
+	for {
+		conn, err = g.m.cfg.Dial("tcp", g.clientTCP)
+		if err == nil {
+			break
+		}
+		g.mu.Lock()
+		quitted := g.quitted
+		g.mu.Unlock()
+		if quitted || b.Attempts() >= clientDialAttempts-1 {
+			return fmt.Errorf("dialing %s: %w", g.clientTCP, err)
+		}
+		t := time.NewTimer(b.Next())
+		select {
+		case <-g.m.quit:
+			t.Stop()
+			return fmt.Errorf("dialing %s: msu shutting down", g.clientTCP)
+		case <-t.C:
+		}
 	}
 	peer := wire.NewPeerStopped(conn, g.handleVCR, func(error) {
 		// A dead client control connection terminates the group — the

@@ -62,9 +62,18 @@ type Config struct {
 	// DiskBandwidth is the per-disk delivery budget advertised to the
 	// Coordinator. Zero lets the Coordinator pick its default.
 	DiskBandwidth units.BitRate
-	// ReconnectInterval paces re-registration attempts after the
-	// Coordinator connection drops.
+	// ReconnectInterval is the base of the re-registration backoff
+	// after the Coordinator connection drops (attempts space out
+	// exponentially with jitter, capped at BackoffCap).
 	ReconnectInterval time.Duration
+	// BackoffCap bounds the re-registration backoff; zero means the
+	// wire default.
+	BackoffCap time.Duration
+	// Dial supplies the TCP dialer for both the Coordinator connection
+	// and per-group client control connections; nil means a net.Dial
+	// with a 5 s timeout. Fault-injection tests pass an injector here
+	// (internal/faultinject).
+	Dial func(network, address string) (net.Conn, error)
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -81,6 +90,8 @@ type MSU struct {
 	streams map[core.StreamID]*stream
 	groups  map[uint64]*group
 	closed  bool
+	// quit interrupts reconnect backoff sleeps on Close.
+	quit chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -105,6 +116,11 @@ func New(cfg Config) (*MSU, error) {
 	if cfg.ReconnectInterval <= 0 {
 		cfg.ReconnectInterval = 500 * time.Millisecond
 	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(network, address string) (net.Conn, error) {
+			return net.DialTimeout(network, address, 5*time.Second)
+		}
+	}
 	var stores []msufs.Store
 	if cfg.Striped && len(cfg.Volumes) > 1 {
 		set, err := msufs.NewStripeSet(cfg.Volumes...)
@@ -122,6 +138,7 @@ func New(cfg Config) (*MSU, error) {
 		stores:  stores,
 		streams: make(map[core.StreamID]*stream),
 		groups:  make(map[uint64]*group),
+		quit:    make(chan struct{}),
 	}, nil
 }
 
@@ -144,6 +161,7 @@ func (m *MSU) Close() error {
 		return nil
 	}
 	m.closed = true
+	close(m.quit)
 	peer := m.peer
 	groups := make([]*group, 0, len(m.groups))
 	for _, g := range m.groups {
@@ -169,7 +187,7 @@ func (m *MSU) logf(format string, args ...any) {
 
 // connectOnce dials and registers with the Coordinator.
 func (m *MSU) connectOnce() error {
-	conn, err := net.Dial("tcp", m.cfg.Coordinator)
+	conn, err := m.cfg.Dial("tcp", m.cfg.Coordinator)
 	if err != nil {
 		return fmt.Errorf("msu: dialing coordinator: %w", err)
 	}
@@ -192,7 +210,9 @@ func (m *MSU) connectOnce() error {
 
 // reconnect re-registers after the Coordinator connection drops —
 // "When the MSU becomes available again, it contacts the Coordinator
-// and is restored to the scheduling database" (§2.2).
+// and is restored to the scheduling database" (§2.2). Attempts back
+// off exponentially with jitter so a flapping Coordinator is not
+// hammered by its whole MSU fleet at once.
 func (m *MSU) reconnect() {
 	m.mu.Lock()
 	if m.closed {
@@ -200,17 +220,18 @@ func (m *MSU) reconnect() {
 		return
 	}
 	m.peer = nil
+	m.wg.Add(1) // under mu: Close sets closed before waiting
 	m.mu.Unlock()
-	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
+		b := wire.Backoff{Base: m.cfg.ReconnectInterval, Cap: m.cfg.BackoffCap}
 		for {
-			time.Sleep(m.cfg.ReconnectInterval)
-			m.mu.Lock()
-			closed := m.closed
-			m.mu.Unlock()
-			if closed {
+			t := time.NewTimer(b.Next())
+			select {
+			case <-m.quit:
+				t.Stop()
 				return
+			case <-t.C:
 			}
 			if err := m.connectOnce(); err == nil {
 				return

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"calliope/internal/core"
+	"calliope/internal/faultinject"
 	"calliope/internal/msufs"
 	"calliope/internal/units"
 	"calliope/internal/wire"
@@ -286,5 +287,133 @@ func TestMSUReconnectsAfterCoordinatorRestart(t *testing.T) {
 			t.Fatal("MSU never re-registered")
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestMSUReconnectBackoffStopsOnClose(t *testing.T) {
+	vol := rawVolume(t)
+	fc := startFakeCoordinator(t, "")
+	in := faultinject.New(faultinject.Options{})
+	m, err := New(Config{
+		ID: "m0", Coordinator: fc.Addr(),
+		Volumes:           []*msufs.Volume{vol},
+		ReconnectInterval: 10 * time.Millisecond,
+		Dial:              in.Dial(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the link and keep every redial failing; Close must still
+	// return promptly, interrupting the backoff sleep.
+	in.Partition(true)
+	in.CutAll()
+	time.Sleep(50 * time.Millisecond) // let the reconnect loop start
+	done := make(chan error, 1)
+	go func() { done <- m.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on the reconnect backoff")
+	}
+}
+
+func TestGroupClientDialRetries(t *testing.T) {
+	vol := rawVolume(t)
+	src := testStream(t, 5*time.Second)
+	if err := Ingest(msufs.NewStore(vol), "movie", "mpeg1", src); err != nil {
+		t.Fatal(err)
+	}
+	fc := startFakeCoordinator(t, "")
+	in := faultinject.New(faultinject.Options{})
+	m, err := New(Config{
+		ID: "m0", Coordinator: fc.Addr(),
+		Volumes: []*msufs.Volume{vol},
+		Dial:    in.Dial(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	peer := fc.peer(t)
+
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP("127.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	vcr := startVCREndpoint(t)
+
+	// The first two dials to the client's control port fail; the group
+	// must retry instead of abandoning the reserved stream.
+	in.FailDials(2)
+	spec := core.StreamSpec{
+		Stream: 7, Group: 1, GroupSize: 1,
+		Content: "movie", Type: "mpeg1", Protocol: "cbr", Class: core.ConstantRate,
+		Rate: 1500 * units.Kbps, Disk: 0,
+		DestAddr:  sink.LocalAddr().String(),
+		ClientTCP: vcr.ln.Addr().String(),
+	}
+	if err := peer.Call(wire.TypeStartStream, wire.StartStream{Spec: spec}, nil); err != nil {
+		t.Fatalf("start-stream failed despite dial retries: %v", err)
+	}
+	select {
+	case <-vcr.peer:
+	case <-time.After(3 * time.Second):
+		t.Fatal("MSU never reached the VCR endpoint")
+	}
+}
+
+func TestGroupClientDialGivesUp(t *testing.T) {
+	vol := rawVolume(t)
+	if err := Ingest(msufs.NewStore(vol), "movie", "mpeg1", testStream(t, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	fc := startFakeCoordinator(t, "")
+	in := faultinject.New(faultinject.Options{})
+	m, err := New(Config{
+		ID: "m0", Coordinator: fc.Addr(),
+		Volumes: []*msufs.Volume{vol},
+		Dial:    in.Dial(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	peer := fc.peer(t)
+
+	in.FailDials(100) // exceeds the retry budget
+	spec := core.StreamSpec{
+		Stream: 8, Group: 2, GroupSize: 1,
+		Content: "movie", Type: "mpeg1", Protocol: "cbr", Class: core.ConstantRate,
+		Rate: 1500 * units.Kbps, Disk: 0,
+		DestAddr:  "127.0.0.1:9",
+		ClientTCP: "127.0.0.1:9",
+	}
+	err = peer.Call(wire.TypeStartStream, wire.StartStream{Spec: spec}, nil)
+	if err == nil {
+		t.Fatal("start-stream succeeded with an unreachable client")
+	}
+	// The failed group must not linger.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		m.mu.Lock()
+		n := len(m.groups)
+		m.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d groups linger after dial failure", n)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -46,9 +46,22 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 func (q *SPSC[T]) Cap() int { return len(q.buf) }
 
 // Len reports the number of queued items. It is exact when called by
-// the producer or the consumer, and a snapshot otherwise.
+// the producer or the consumer, and a clamped snapshot in [0, Cap]
+// otherwise. head must be loaded before tail: a third-party observer
+// racing the consumer could otherwise see a head advanced past the
+// tail it read and underflow the uint64 subtraction to a huge positive
+// length. Both counters may still advance between the two loads, so
+// the snapshot is clamped to the queue's physical bounds.
 func (q *SPSC[T]) Len() int {
-	return int(q.tail.Load() - q.head.Load())
+	head := q.head.Load()
+	tail := q.tail.Load()
+	if tail < head {
+		return 0 // unreachable with head loaded first; kept as a guard
+	}
+	if d := tail - head; d < uint64(len(q.buf)) {
+		return int(d)
+	}
+	return len(q.buf)
 }
 
 // Enqueue adds v and reports whether there was room. Producer-side only.

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"testing/quick"
@@ -114,6 +115,53 @@ func TestSPSCConcurrentFIFO(t *testing.T) {
 		}
 	}
 	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPSCLenObserverRace is the regression test for the Len load
+// order: an observer racing a spinning consumer must never see a
+// length outside [0, Cap]. With tail loaded before head, the consumer
+// could advance head past the stale tail between the two loads and the
+// uint64 subtraction underflowed to ~2^64. Run with -race.
+func TestSPSCLenObserverRace(t *testing.T) {
+	const n = 200000
+	q := NewSPSC[int](64)
+	consumerDone := make(chan struct{})
+	observerDone := make(chan error, 1)
+	go func() {
+		defer close(consumerDone)
+		for got := 0; got < n; {
+			if _, ok := q.Dequeue(); ok {
+				got++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-consumerDone:
+				observerDone <- nil
+				return
+			default:
+			}
+			if l := q.Len(); l < 0 || l > q.Cap() {
+				observerDone <- fmt.Errorf("observer saw Len=%d outside [0,%d]", l, q.Cap())
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < n; {
+		if q.Enqueue(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-observerDone; err != nil {
 		t.Fatal(err)
 	}
 }

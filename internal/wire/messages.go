@@ -30,6 +30,11 @@ const (
 	TypeStartStream = "start-stream"
 	TypeStopStream  = "stop-stream"
 
+	// Coordinator → Client notifications on the session connection:
+	// failure-recovery outcomes for a stream group whose MSU died.
+	TypeStreamMigrated = "stream-migrated"
+	TypeStreamLost     = "stream-lost"
+
 	// MSU → Client (first message on the VCR control connection).
 	TypeVCRHello = "vcr-hello"
 	// Client → MSU on the VCR connection.
@@ -257,4 +262,25 @@ type VCRAck struct {
 type StreamEOF struct {
 	Group uint64        `json:"group"`
 	Pos   time.Duration `json:"pos"`
+}
+
+// StreamMigrated tells the client its stream group was re-dispatched
+// onto another MSU after its original MSU failed (§2.2 fault
+// tolerance). The new MSU opens a fresh VCR control connection for the
+// same group; stream identifiers are preserved. Playback restarts from
+// the beginning of the content — the client re-seeks to its last
+// delivered position.
+type StreamMigrated struct {
+	Group   uint64       `json:"group"`
+	MSU     core.MSUID   `json:"msu"` // the new server
+	Streams []StreamInfo `json:"streams"`
+}
+
+// StreamLost tells the client its stream group died with its MSU and
+// could not be re-dispatched (no other MSU declares the content, or no
+// bandwidth). The client's retry path is a fresh Play — with Wait set
+// it lands in the paper's pending queue until resources return.
+type StreamLost struct {
+	Group  uint64 `json:"group"`
+	Reason string `json:"reason"`
 }
