@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race faults bench repro examples clean
+.PHONY: all build vet lint test race faults bench bench-smoke bench-path repro examples clean
 
 all: build vet lint test
 
@@ -31,6 +31,17 @@ faults:
 # One measurement per table/figure, as Go benchmarks.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run xxx ./...
+
+# Compile and run every benchmark exactly once so they cannot rot
+# (CI runs this on every push).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The §2.3 delivery-path microbenches: allocs/op and packets/sec from
+# disk read to UDP write, zero-copy vs the legacy copy-per-packet
+# baseline, plus the page-granular ibtree cursor (DESIGN.md §3d).
+bench-path:
+	$(GO) test -run=NONE -bench='PlayerDeliveryPath|PageCursorNext|CursorNext|SeekTime' -benchmem ./internal/msu ./internal/ibtree
 
 # Regenerate every table and figure in the paper's layout.
 repro:

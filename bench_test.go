@@ -14,6 +14,13 @@ package calliope
 //	§2.3.3   → BenchmarkDiskScheduling/*    (E6)
 //	§2.2.1   → BenchmarkIBTreeOverhead      (E7)
 //	§2.2.1   → BenchmarkJitterBound         (E8)
+//
+// The real-binary delivery path (§2.3: disk process → shared-memory
+// queue → network process) is benchmarked in-package where the player
+// lives: BenchmarkPlayerDeliveryPath and its pre-zero-copy Legacy
+// baseline in calliope/internal/msu, and the page-granular cursor
+// benches (BenchmarkPageCursorNext vs BenchmarkCursorNext) in
+// calliope/internal/ibtree. `make bench-path` runs just those.
 
 import (
 	"fmt"

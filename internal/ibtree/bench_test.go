@@ -1,0 +1,109 @@
+package ibtree
+
+import (
+	"testing"
+	"time"
+)
+
+// benchTree builds an in-memory tree of n packets for the cursor
+// benches: 4 KB payloads in 64 KB pages, the shapes the MSU serves.
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	const pageSize = 64 * 1024
+	f := newMemFile(pageSize)
+	bld, err := NewBuilder(f, pageSize, DefaultMaxKeys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	for i := 0; i < n; i++ {
+		if err := bld.Append(Packet{Time: time.Duration(i) * time.Millisecond, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	meta, err := bld.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Open(f, pageSize, meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkCursorNext measures the classic per-packet cursor: one
+// *Packet allocation per read (the pre-zero-copy read path).
+func BenchmarkCursorNext(b *testing.B) {
+	const n = 1 << 14
+	tr := benchTree(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var c *Cursor
+	for i := 0; i < b.N; i++ {
+		if i%n == 0 {
+			var err error
+			if c, err = tr.Begin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pkt, err := c.Next()
+		if err != nil || pkt == nil {
+			b.Fatalf("Next: %v, %v", pkt, err)
+		}
+	}
+}
+
+// BenchmarkPageCursorNext measures the page-granular cursor the
+// zero-copy delivery path runs on: whole pages into a caller-owned
+// buffer, value spans out — 0 allocs per packet.
+func BenchmarkPageCursorNext(b *testing.B) {
+	const n = 1 << 14
+	tr := benchTree(b, n)
+	buf := make([]byte, tr.PageSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pc *PageCursor
+	inPage := false
+	for i := 0; i < b.N; i++ {
+		if i%n == 0 {
+			var err error
+			if pc, err = tr.PageCursorAt(0); err != nil {
+				b.Fatal(err)
+			}
+			inPage = false
+		}
+		for {
+			if !inPage {
+				ok, err := pc.LoadPage(buf)
+				if err != nil || !ok {
+					b.Fatalf("LoadPage: %v, %v", ok, err)
+				}
+				inPage = true
+			}
+			_, ok, err := pc.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				break
+			}
+			inPage = false
+		}
+	}
+}
+
+// BenchmarkSeekTime measures a full root-to-leaf seek; the descent now
+// reuses one scratch page across all levels.
+func BenchmarkSeekTime(b *testing.B) {
+	const n = 1 << 16
+	tr := benchTree(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := time.Duration(i%n) * time.Millisecond
+		if _, err := tr.SeekTime(tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

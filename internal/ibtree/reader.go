@@ -34,6 +34,9 @@ func (t *Tree) Meta() Meta { return t.meta }
 // Length reports the delivery time of the last packet.
 func (t *Tree) Length() time.Duration { return t.meta.Length }
 
+// PageSize reports the tree's data-page size (the file's block size).
+func (t *Tree) PageSize() int { return t.pageSize }
+
 // readPage loads data page i.
 func (t *Tree) readPage(i int64, buf []byte) error {
 	if i < 0 || i >= t.meta.Pages {
@@ -48,9 +51,9 @@ func (t *Tree) readPage(i int64, buf []byte) error {
 	return nil
 }
 
-// readNode loads the embedded internal page at p.
-func (t *Tree) readNode(p Ptr) (*node, error) {
-	buf := make([]byte, t.pageSize)
+// readNode loads the embedded internal page at p, reading the data page
+// into buf (the caller's scratch, reused across a descent).
+func (t *Tree) readNode(p Ptr, buf []byte) (*node, error) {
 	if err := t.readPage(p.Page, buf); err != nil {
 		return nil, err
 	}
@@ -69,33 +72,52 @@ func (t *Tree) readNode(p Ptr) (*node, error) {
 	return deserializeNode(buf[p.Offset : int(p.Offset)+n])
 }
 
-// SeekTime positions a cursor at the first packet with delivery time
-// ≥ tm (or at the last packet if tm is beyond the end). It traverses
-// the embedded internal pages "in the usual way" (§2.2.1). The number
-// of pages it touches is the tree height + 1.
-func (t *Tree) SeekTime(tm time.Duration) (*Cursor, error) {
+// descend walks the embedded internal pages from the root down to the
+// leaf data page that contains the first packet with delivery time
+// ≥ tm, reusing one scratch buffer for every level of the descent. The
+// number of pages it touches is the tree height.
+func (t *Tree) descend(tm time.Duration) (Ptr, error) {
 	ptr := t.meta.Root
+	if t.meta.RootLevel < 1 {
+		return ptr, nil // leaf-only file: the root points at the data pages
+	}
+	scratch := make([]byte, t.pageSize)
 	for level := t.meta.RootLevel; level >= 1; level-- {
-		n, err := t.readNode(ptr)
+		n, err := t.readNode(ptr, scratch)
 		if err != nil {
-			return nil, err
+			return Ptr{}, err
 		}
 		if n.level != level {
-			return nil, fmt.Errorf("%w: expected level %d node, found %d", ErrCorrupt, level, n.level)
+			return Ptr{}, fmt.Errorf("%w: expected level %d node, found %d", ErrCorrupt, level, n.level)
 		}
 		if len(n.keys) == 0 {
-			return nil, fmt.Errorf("%w: empty internal page", ErrCorrupt)
+			return Ptr{}, fmt.Errorf("%w: empty internal page", ErrCorrupt)
 		}
 		// Descend to the last child whose first key is strictly below
 		// tm (the first child if none is). Packets with time == tm can
 		// start in that child when duplicate delivery times span a
-		// page boundary; the forward scan below crosses into the next
-		// page when needed.
+		// page boundary; the caller's forward scan crosses into the
+		// next page when needed.
 		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= tm })
 		if i > 0 {
 			i--
 		}
 		ptr = decodePtr(n.childs[i])
+	}
+	return ptr, nil
+}
+
+// SeekTime positions a cursor at the first packet with delivery time
+// ≥ tm (or at the last packet if tm is beyond the end). It traverses
+// the embedded internal pages "in the usual way" (§2.2.1). The number
+// of pages it touches is the tree height + 1.
+func (t *Tree) SeekTime(tm time.Duration) (*Cursor, error) {
+	if tm > t.meta.Length {
+		tm = t.meta.Length // beyond the end: deliver the final packet
+	}
+	ptr, err := t.descend(tm)
+	if err != nil {
+		return nil, err
 	}
 	c := &Cursor{t: t, page: make([]byte, t.pageSize), pageIdx: -1}
 	if err := c.loadPage(ptr.Page); err != nil {
@@ -109,8 +131,9 @@ func (t *Tree) SeekTime(tm time.Duration) (*Cursor, error) {
 			return nil, err
 		}
 		if pkt == nil {
-			// tm beyond the end: rewind to deliver the final packet.
-			return t.SeekTime(t.meta.Length)
+			// Unreachable after clamping unless the index is corrupt:
+			// the last packet's time equals meta.Length.
+			return nil, fmt.Errorf("%w: no packet at or after %v", ErrCorrupt, tm)
 		}
 		if pkt.Time >= tm {
 			c.pushback(pkt)
@@ -203,3 +226,117 @@ func (c *Cursor) Next() (*Packet, error) {
 
 // Page reports the index of the data page the cursor currently reads.
 func (c *Cursor) Page() int64 { return c.pageIdx }
+
+// PacketSpan locates one packet's payload inside a page buffer the
+// caller loaded with PageCursor.LoadPage: Payload-equivalent bytes are
+// buf[Start : Start+Len]. It is a value, so iterating spans allocates
+// nothing.
+type PacketSpan struct {
+	Time  time.Duration
+	Start int // payload offset within the loaded page buffer
+	Len   int // payload length in bytes
+}
+
+// PageCursor is the block-granular read path the paper's disk process
+// runs (§2.3): it loads whole data pages into caller-owned buffers and
+// yields packet *descriptors* whose payloads alias the page memory —
+// no per-packet allocation and no payload copy. The caller owns buffer
+// lifetime: a span is valid exactly as long as the buffer it was
+// parsed from still holds that page.
+//
+// Usage: LoadPage(buf) to pull the next data page, then Next() until it
+// reports false, then LoadPage again (the same buffer or a fresh one)
+// for the following page. LoadPage returning false means end of tree.
+type PageCursor struct {
+	t    *Tree
+	next int64  // next data page index to load
+	cur  int64  // currently/most recently loaded page; -1 before the first
+	buf  []byte // caller's buffer holding the current page; nil between pages
+	off  int
+	skip time.Duration // suppress packets with Time < skip (seek tail)
+}
+
+// PageCursorAt returns a page cursor positioned so that the first span
+// it yields is the first packet with delivery time ≥ tm (the last
+// packet if tm is beyond the end). The descent reuses one scratch
+// buffer across all levels.
+func (t *Tree) PageCursorAt(tm time.Duration) (*PageCursor, error) {
+	if tm < 0 {
+		tm = 0
+	}
+	if tm > t.meta.Length {
+		tm = t.meta.Length // beyond the end: deliver the final packet
+	}
+	ptr, err := t.descend(tm)
+	if err != nil {
+		return nil, err
+	}
+	return &PageCursor{t: t, next: ptr.Page, cur: -1, skip: tm}, nil
+}
+
+// LoadPage reads the next data page into buf (which must be exactly one
+// page long) and reports whether there was one; false means the cursor
+// is past the last page. Spans from the previous page die here: they
+// indexed a buffer that no longer holds that page (unless the caller
+// rotates distinct buffers, which is the double-buffering idiom).
+func (c *PageCursor) LoadPage(buf []byte) (bool, error) {
+	if len(buf) != c.t.pageSize {
+		return false, fmt.Errorf("ibtree: LoadPage buffer is %d bytes, page size is %d", len(buf), c.t.pageSize)
+	}
+	c.buf = nil
+	if c.next >= c.t.meta.Pages {
+		return false, nil
+	}
+	if err := c.t.readPage(c.next, buf); err != nil {
+		return false, err
+	}
+	c.buf = buf
+	c.off = pageHdrLen
+	c.cur = c.next
+	c.next++
+	return true, nil
+}
+
+// Page reports the index of the currently (or most recently) loaded
+// data page, -1 before the first LoadPage.
+func (c *PageCursor) Page() int64 { return c.cur }
+
+// Next yields the next packet span within the currently loaded page.
+// ok == false means the page is exhausted: LoadPage the next one.
+// Embedded internal pages are read past without being interpreted, as
+// the paper's sequential scan does.
+func (c *PageCursor) Next() (span PacketSpan, ok bool, err error) {
+	for c.buf != nil {
+		if c.off+1 > len(c.buf) || c.buf[c.off] == kindEnd {
+			c.buf = nil // page exhausted; spans already yielded stay valid
+			return PacketSpan{}, false, nil
+		}
+		switch c.buf[c.off] {
+		case kindPacket:
+			if c.off+packetHdrLen > len(c.buf) {
+				return PacketSpan{}, false, fmt.Errorf("%w: truncated packet header on page %d", ErrCorrupt, c.cur)
+			}
+			n := int(binary.BigEndian.Uint32(c.buf[c.off+4 : c.off+8]))
+			tm := time.Duration(binary.BigEndian.Uint64(c.buf[c.off+8 : c.off+16]))
+			start := c.off + packetHdrLen
+			if start+n > len(c.buf) {
+				return PacketSpan{}, false, fmt.Errorf("%w: packet overruns page %d", ErrCorrupt, c.cur)
+			}
+			c.off = start + n
+			if tm < c.skip {
+				continue // seek tail: before the requested position
+			}
+			c.skip = 0
+			return PacketSpan{Time: tm, Start: start, Len: n}, true, nil
+		case kindInternal:
+			if c.off+embedHdrLen > len(c.buf) {
+				return PacketSpan{}, false, fmt.Errorf("%w: truncated embed header on page %d", ErrCorrupt, c.cur)
+			}
+			n := int(binary.BigEndian.Uint32(c.buf[c.off+4 : c.off+8]))
+			c.off += embedHdrLen + n
+		default:
+			return PacketSpan{}, false, fmt.Errorf("%w: unknown record kind %d on page %d", ErrCorrupt, c.buf[c.off], c.cur)
+		}
+	}
+	return PacketSpan{}, false, nil
+}

@@ -309,20 +309,29 @@ func (s *stream) playerEOF(p *player) {
 	}
 }
 
-// qItem flows through the shared-memory queue from the disk goroutine
-// to the network goroutine.
-type qItem struct {
-	t       time.Duration
-	ch      protocol.Channel
-	payload []byte
-	eof     bool
+// descriptor flows through the shared-memory queue from the disk
+// goroutine to the network goroutine. It carries no payload bytes: the
+// payload is page.Bytes()[off : off+n], aliasing the refcounted page
+// buffer the disk goroutine read the whole IB-tree page into. Each
+// descriptor holds one reference on its page; the network goroutine
+// releases it after the send, so the page returns to the pool when the
+// last packet cut from it has left the socket.
+type descriptor struct {
+	t    time.Duration
+	ch   protocol.Channel
+	page *queue.PageRef // nil on EOF markers
+	off  int
+	n    int
+	eof  bool
 }
 
-// player runs one delivery session: a disk goroutine feeding a
-// lock-free SPSC queue (the paper's shared-memory queue, §2.3) and a
-// network goroutine pacing packets onto the UDP sockets. Packet
-// buffers recycle through a pool, so the steady-state data path does
-// not allocate — the paper's MSU "does its own memory management".
+// player runs one delivery session, mirroring §2.3's MSU: a disk
+// process reading whole 256 KB blocks into buffers it manages itself, a
+// network process transmitting packets straight out of those buffers,
+// and a shared-memory queue of descriptors between them. Pages recycle
+// through a fixed refcounted pool and payloads are never copied, so the
+// steady-state path from disk read to UDP write performs zero copies
+// and zero allocations.
 type player struct {
 	s        *stream
 	tree     *ibtree.Tree
@@ -330,14 +339,22 @@ type player struct {
 	startPos time.Duration
 	cancel   chan struct{}
 	done     chan struct{}
-	pool     *queue.BufferPool
+	pool     *queue.PagePool
+	// wake and space park the two processes instead of polling: the
+	// producer nudges wake after an enqueue into an empty-observed
+	// queue window, the consumer nudges space after freeing a slot.
+	// Both are 1-buffered, so a nudge is never lost and never blocks.
+	wake  chan struct{}
+	space chan struct{}
 }
 
 // queueDepth is the SPSC capacity between the disk and network sides.
 const queueDepth = 512
 
-// poolBufSize covers any stored packet (64 KB is the UDP maximum).
-const poolBufSize = 64 * 1024
+// readAheadPages bounds the disk process's lead over the network
+// process — the paper's double-buffered read-ahead, with two extra
+// pages of slack so a page drained mid-iteration never stalls the read.
+const readAheadPages = 4
 
 func (p *player) stop() {
 	close(p.cancel)
@@ -345,37 +362,47 @@ func (p *player) stop() {
 }
 
 func (p *player) start() {
-	pool, err := queue.NewBufferPool(poolBufSize, queueDepth/4)
-	if err != nil { // impossible with the constants above
+	pool, err := queue.NewPagePool(p.tree.PageSize(), readAheadPages)
+	if err != nil { // impossible: Open rejects non-positive page sizes
 		panic(err)
 	}
 	p.pool = pool
-	q := queue.NewSPSC[qItem](queueDepth)
+	p.wake = make(chan struct{}, 1)
+	p.space = make(chan struct{}, 1)
+	q := queue.NewSPSC[descriptor](queueDepth)
 	diskDone := make(chan struct{})
 	go p.diskLoop(q, diskDone)
 	go p.netLoop(q, diskDone)
 }
 
-// diskLoop is the disk process: it reads packets in delivery order and
-// keeps the queue full (read-ahead / double buffering).
-func (p *player) diskLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
+// diskLoop is the disk process: it reads whole IB-tree pages into
+// pooled refcounted buffers and queues packet descriptors that alias
+// the page memory (read-ahead / double buffering). It blocks — parked
+// on a channel, not polling — when the queue is full or every pool
+// page is still in flight.
+func (p *player) diskLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 	defer close(diskDone)
-	enqueue := func(it qItem) bool {
-		for {
-			if q.Enqueue(it) {
-				return true
-			}
+	enqueue := func(d descriptor) bool {
+		for !q.Enqueue(d) {
 			select {
 			case <-p.cancel:
+				if d.page != nil {
+					d.page.Release()
+				}
 				return false
-			case <-time.After(time.Millisecond):
+			case <-p.space:
 			}
 		}
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+		return true
 	}
-	cur, err := p.tree.SeekTime(p.startPos)
+	cur, err := p.tree.PageCursorAt(p.startPos)
 	if err != nil {
 		p.s.m.logf("stream %d: seek: %v", p.s.spec.Stream, err)
-		enqueue(qItem{eof: true}) // t=0: error EOF is reported immediately
+		enqueue(descriptor{eof: true}) // t=0: error EOF is reported immediately
 		return
 	}
 	// lastT/gap place the EOF marker on the delivery timeline one
@@ -384,92 +411,146 @@ func (p *player) diskLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
 	// it against the last datagram's delivery.
 	var lastT, gap time.Duration
 	for {
-		select {
-		case <-p.cancel:
-			return
-		default:
+		page := p.pool.Get(p.cancel)
+		if page == nil {
+			return // cancelled while waiting for a free page
 		}
-		pkt, err := cur.Next()
+		ok, err := cur.LoadPage(page.Bytes())
 		if err != nil {
+			page.Release()
 			p.s.m.logf("stream %d: read: %v", p.s.spec.Stream, err)
-			enqueue(qItem{eof: true}) // t=0: error EOF is reported immediately
+			enqueue(descriptor{eof: true}) // t=0: error EOF is reported immediately
 			return
 		}
-		if pkt == nil {
+		if !ok {
+			page.Release()
 			slack := gap
 			if slack <= 0 {
 				slack = 2 * time.Millisecond
 			}
-			enqueue(qItem{t: lastT + slack, eof: true})
+			enqueue(descriptor{t: lastT + slack, eof: true})
 			return
 		}
-		ch, payload, err := protocol.DecodeStored(pkt.Payload)
-		if err != nil {
-			// Content predating the channel framing: treat as data.
-			ch, payload = protocol.Data, pkt.Payload
+		for {
+			span, ok, err := cur.Next()
+			if err != nil {
+				page.Release()
+				p.s.m.logf("stream %d: read: %v", p.s.spec.Stream, err)
+				enqueue(descriptor{eof: true})
+				return
+			}
+			if !ok {
+				break // page fully cut into descriptors
+			}
+			buf := page.Bytes()
+			off, n := span.Start, span.Len
+			ch, _, derr := protocol.DecodeStored(buf[off : off+n])
+			if derr == nil {
+				off, n = off+1, n-1 // skip the stored channel byte
+			} else {
+				// Content predating the channel framing: treat as data.
+				ch = protocol.Data
+			}
+			page.Retain() // the descriptor's reference
+			if !enqueue(descriptor{t: span.Time, ch: ch, page: page, off: off, n: n}) {
+				page.Release() // drop the disk process's own hold too
+				return
+			}
+			if d := span.Time - lastT; d > 0 {
+				gap = d
+			}
+			lastT = span.Time
 		}
-		buf := p.pool.Get()
-		if len(payload) > len(buf) {
-			buf = make([]byte, len(payload))
-		}
-		n := copy(buf, payload)
-		if !enqueue(qItem{t: pkt.Time, ch: ch, payload: buf[:n]}) {
-			return
-		}
-		if d := pkt.Time - lastT; d > 0 {
-			gap = d
-		}
-		lastT = pkt.Time
+		// Drop the disk process's hold; outstanding descriptors keep the
+		// page alive until the network process sends the last of them.
+		page.Release()
 	}
 }
 
-// netLoop is the network process: it dequeues packets and sends each
-// at its scheduled time relative to the session start.
-func (p *player) netLoop(q *queue.SPSC[qItem], diskDone chan struct{}) {
+// netLoop is the network process: it dequeues descriptors and sends
+// each packet at its scheduled time, writing straight out of the page
+// buffer. One timer paces every packet of the session; an empty queue
+// parks the goroutine on the wake channel instead of spinning.
+func (p *player) netLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 	defer close(p.done)
+	// drain releases the page references still queued when the session
+	// ends, so every pool page is accounted for at teardown.
+	drain := func() {
+		<-diskDone // the disk process exits promptly once cancel closes
+		for {
+			d, ok := q.Dequeue()
+			if !ok {
+				return
+			}
+			if d.page != nil {
+				d.page.Release()
+			}
+		}
+	}
+	// The session's single pacing timer, armed per packet that needs
+	// waiting and drained on every path that did not consume it.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	epoch := time.Now()
 	for {
-		it, ok := q.Dequeue()
+		d, ok := q.Dequeue()
 		if !ok {
 			select {
 			case <-p.cancel:
+				drain()
 				return
-			case <-time.After(200 * time.Microsecond):
+			case <-p.wake:
 				continue
 			}
 		}
-		// Pace first — EOF items carry a timestamp just past the final
-		// packet, so end-of-stream is announced on the delivery
+		select {
+		case p.space <- struct{}{}:
+		default:
+		}
+		// Pace first — EOF descriptors carry a timestamp just past the
+		// final packet, so end-of-stream is announced on the delivery
 		// timeline, never before the last datagram has been sent.
-		target := epoch.Add(it.t - p.startPos)
-		if d := time.Until(target); d > 0 {
-			t := time.NewTimer(d)
+		target := epoch.Add(d.t - p.startPos)
+		if w := time.Until(target); w > 0 {
+			timer.Reset(w)
 			select {
 			case <-p.cancel:
-				t.Stop()
+				if !timer.Stop() {
+					<-timer.C
+				}
+				if d.page != nil {
+					d.page.Release()
+				}
+				drain()
 				return
-			case <-t.C:
+			case <-timer.C:
 			}
 		}
-		if it.eof {
+		if d.eof {
 			p.s.playerEOF(p)
 			// Stay parked until cancelled so stop() never blocks.
 			<-p.cancel
+			drain()
 			return
 		}
 		conn := p.s.dataConn
-		if it.ch == protocol.Control && p.s.ctrlConn != nil {
+		if d.ch == protocol.Control && p.s.ctrlConn != nil {
 			conn = p.s.ctrlConn
 		}
-		if _, err := conn.Write(it.payload); err != nil {
+		payload := d.page.Bytes()[d.off : d.off+d.n]
+		if _, err := conn.Write(payload); err != nil {
 			select {
 			case <-p.cancel: // socket closed by teardown
+				d.page.Release()
+				drain()
 				return
 			default:
 			}
 			p.s.m.logf("stream %d: send: %v", p.s.spec.Stream, err)
 		}
-		p.pool.Put(it.payload)
-		p.s.updatePos(p.speed, it.t)
+		d.page.Release()
+		p.s.updatePos(p.speed, d.t)
 	}
 }

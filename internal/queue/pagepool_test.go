@@ -1,0 +1,133 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPagePoolInvalid(t *testing.T) {
+	if _, err := NewPagePool(0, 1); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewPagePool(1, 0); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+}
+
+func TestPagePoolRecycles(t *testing.T) {
+	p, err := NewPagePool(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PageSize() != 4096 {
+		t.Fatalf("PageSize = %d", p.PageSize())
+	}
+	a := p.TryGet()
+	b := p.TryGet()
+	if a == nil || b == nil {
+		t.Fatal("pool handed out fewer pages than its count")
+	}
+	if p.TryGet() != nil {
+		t.Fatal("pool handed out more pages than its count")
+	}
+	if len(a.Bytes()) != 4096 {
+		t.Fatalf("page length %d", len(a.Bytes()))
+	}
+	a.Bytes()[0] = 0xAB
+	a.Release()
+	c := p.TryGet()
+	if c != a {
+		t.Fatal("released page was not recycled")
+	}
+	if c.Refs() != 1 {
+		t.Fatalf("recycled page has %d refs, want 1", c.Refs())
+	}
+	c.Release()
+	b.Release()
+}
+
+func TestPagePoolGetBlocksUntilRelease(t *testing.T) {
+	p, _ := NewPagePool(16, 1)
+	a := p.TryGet()
+	cancel := make(chan struct{})
+	got := make(chan *PageRef)
+	go func() { got <- p.Get(cancel) }()
+	a.Release()
+	if r := <-got; r != a {
+		t.Fatal("Get did not return the freed page")
+	}
+}
+
+func TestPagePoolGetCancel(t *testing.T) {
+	p, _ := NewPagePool(16, 1)
+	a := p.TryGet()
+	cancel := make(chan struct{})
+	close(cancel)
+	if r := p.Get(cancel); r != nil {
+		t.Fatal("Get returned a page after cancel with the pool empty")
+	}
+	a.Release()
+	// With a page free, Get succeeds even when cancel is already closed.
+	if r := p.Get(cancel); r == nil {
+		t.Fatal("Get ignored a free page because cancel was closed")
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestPageRefDoublePutPanics(t *testing.T) {
+	p, _ := NewPagePool(16, 2)
+	a := p.TryGet()
+	a.Release()
+	mustPanic(t, "double Release", func() { a.Release() })
+}
+
+func TestPageRefUseAfterPutPanics(t *testing.T) {
+	p, _ := NewPagePool(16, 2)
+	a := p.TryGet()
+	a.Release()
+	mustPanic(t, "Bytes after Release", func() { a.Bytes() })
+	mustPanic(t, "Retain after Release", func() { a.Retain() })
+}
+
+// TestPagePoolConcurrentRefs exercises the refcount under -race: a
+// producer retains once per consumer, consumers release concurrently,
+// and the page must land back in the pool exactly once with its memory
+// visible to the next owner.
+func TestPagePoolConcurrentRefs(t *testing.T) {
+	const rounds = 200
+	const consumers = 4
+	p, _ := NewPagePool(64, 2)
+	for i := 0; i < rounds; i++ {
+		r := p.Get(nil)
+		if r == nil {
+			t.Fatal("pool ran dry")
+		}
+		r.Bytes()[0] = byte(i)
+		var wg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			r.Retain()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = r.Bytes()[0]
+				r.Release()
+			}()
+		}
+		r.Release() // drop the producer's hold; consumers finish the page
+		wg.Wait()
+		if got := p.Get(nil); got == nil {
+			t.Fatal("page did not return to the pool after final release")
+		} else {
+			got.Release()
+		}
+	}
+}

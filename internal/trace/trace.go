@@ -14,6 +14,12 @@ import (
 // Recorder accumulates per-packet lateness observations.
 type Recorder struct {
 	lateness []time.Duration
+	// sorted caches an ascending copy of lateness for Percentile, so
+	// repeated percentile reads over a settled trace sort once instead
+	// of copying and re-sorting millions of samples per call. Record
+	// invalidates it; the slice's capacity is kept across rebuilds.
+	sorted      []time.Duration
+	sortedValid bool
 }
 
 // Record notes one packet delivered at actual against its deadline.
@@ -24,6 +30,7 @@ func (r *Recorder) Record(deadline, actual time.Duration) {
 		late = 0
 	}
 	r.lateness = append(r.lateness, late)
+	r.sortedValid = false
 }
 
 // Count reports the number of recorded packets.
@@ -72,9 +79,7 @@ func (r *Recorder) Percentile(p float64) time.Duration {
 	if len(r.lateness) == 0 || p <= 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(r.lateness))
-	copy(sorted, r.lateness)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := r.sortedLateness()
 	idx := int(p/100*float64(len(sorted))) - 1
 	if idx < 0 {
 		idx = 0
@@ -83,6 +88,17 @@ func (r *Recorder) Percentile(p float64) time.Duration {
 		idx = len(sorted) - 1
 	}
 	return sorted[idx]
+}
+
+// sortedLateness returns the cached ascending lateness slice,
+// rebuilding it if a Record landed since the last sort.
+func (r *Recorder) sortedLateness() []time.Duration {
+	if !r.sortedValid {
+		r.sorted = append(r.sorted[:0], r.lateness...)
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+		r.sortedValid = true
+	}
+	return r.sorted
 }
 
 // CDF returns the cumulative percentage of packets per one-millisecond

@@ -86,6 +86,42 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileCacheInvalidation checks the sorted-slice cache: reads
+// repeat stably, a Record after a read invalidates the cache, and
+// out-of-order samples still sort correctly on the rebuild.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var r Recorder
+	for _, ms := range []int{40, 10, 30, 20} {
+		r.Record(0, time.Duration(ms)*time.Millisecond)
+	}
+	if got := r.Percentile(50); got != 20*time.Millisecond {
+		t.Fatalf("P50 = %v, want 20ms", got)
+	}
+	if got := r.Percentile(50); got != 20*time.Millisecond {
+		t.Fatalf("cached P50 = %v, want 20ms", got)
+	}
+	if got := r.Percentile(100); got != 40*time.Millisecond {
+		t.Fatalf("P100 = %v, want 40ms", got)
+	}
+	// A new sample below the old median must shift the percentile: the
+	// cache may not serve the stale sort.
+	r.Record(0, 5*time.Millisecond)
+	if got := r.Percentile(100); got != 40*time.Millisecond {
+		t.Fatalf("P100 after Record = %v, want 40ms", got)
+	}
+	if got := r.Percentile(20); got != 5*time.Millisecond {
+		t.Fatalf("P20 after Record = %v, want 5ms", got)
+	}
+	// Recording must not disturb what earlier reads returned (the cache
+	// is a copy, not an alias of the live slice).
+	for i := 0; i < 200; i++ {
+		r.Record(0, time.Duration(i)*time.Millisecond)
+	}
+	if got := r.Percentile(100); got != 199*time.Millisecond {
+		t.Fatalf("P100 after growth = %v, want 199ms", got)
+	}
+}
+
 // Property: the CDF is monotone non-decreasing and bounded by 100, and
 // PercentWithin agrees with the binned CDF at bin boundaries.
 func TestCDFMonotoneProperty(t *testing.T) {
