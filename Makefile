@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race faults bench bench-smoke bench-path repro examples clean
+.PHONY: all build vet lint test race faults bench bench-smoke bench-path bench-cache repro examples clean
 
 all: build vet lint test
 
@@ -42,6 +42,12 @@ bench-smoke:
 # baseline, plus the page-granular ibtree cursor (DESIGN.md §3d).
 bench-path:
 	$(GO) test -run=NONE -bench='PlayerDeliveryPath|PageCursorNext|CursorNext|SeekTime' -benchmem ./internal/msu ./internal/ibtree
+
+# The §3e RAM interval cache: hot-replay disk-read savings and the
+# allocation-free cache-hit delivery path, plus the cache's own
+# eviction/concurrency benches.
+bench-cache:
+	$(GO) test -run='HotReplay' -bench='HotReplay|Cache' -benchmem ./internal/msu ./internal/cache
 
 # Regenerate every table and figure in the paper's layout.
 repro:

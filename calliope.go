@@ -152,6 +152,14 @@ type ClusterConfig struct {
 	// DiskBandwidth is each disk's advertised delivery budget
 	// (default 24 Mbit/s).
 	DiskBandwidth units.BitRate
+	// NetBandwidth is each MSU's advertised NIC delivery budget. Zero
+	// defaults it (Coordinator-side) to the sum of the disk budgets;
+	// raise it to let RAM-cached streams exceed the disks' aggregate
+	// duty cycle.
+	NetBandwidth units.BitRate
+	// CacheBytes sizes each disk's RAM interval cache (default
+	// msu.DefaultCacheBytes; negative disables caching).
+	CacheBytes units.ByteSize
 	// Types seeds the content-type table (default DefaultTypes).
 	Types []ContentType
 	// Users is the customer database (user → role); empty means an
@@ -263,6 +271,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Volumes:       vols,
 			Striped:       cfg.Striped,
 			DiskBandwidth: cfg.DiskBandwidth,
+			NetBandwidth:  cfg.NetBandwidth,
+			CacheBytes:    cfg.CacheBytes,
 			Logger:        cfg.Logger,
 		}
 		if cfg.MSUDial != nil {

@@ -76,6 +76,13 @@ func main() {
 		}
 		fmt.Printf("MSUs: %d (%d available)  streams: %d  contents: %d  sessions: %d  requests: %d\n",
 			st.MSUs, st.MSUsAvailable, st.ActiveStreams, st.Contents, st.Sessions, st.Requests)
+		for _, n := range st.Net {
+			state := "up"
+			if !n.Alive {
+				state = "DOWN"
+			}
+			fmt.Printf("  %-14s %-5s net %s of %s\n", n.MSU, state, n.Used, n.Cap)
+		}
 		for _, d := range st.Disks {
 			state := "up"
 			if !d.Alive {
@@ -83,6 +90,13 @@ func main() {
 			}
 			fmt.Printf("  %-14s %-5s bandwidth %s of %s   space %s of %s\n",
 				d.Disk, state, d.BandwidthUsed, d.BandwidthCap, d.SpaceUsed, d.SpaceCap)
+			if cs := d.Cache; cs.Lookups() > 0 || cs.Evictions > 0 {
+				fmt.Printf("  %-14s       cache %s\n", "", cs)
+			}
+			for _, cov := range d.Cached {
+				fmt.Printf("  %-14s       cached %q %d/%d pages, %d players\n",
+					"", cov.Name, cov.CachedPages, cov.TotalPages, cov.Players)
+			}
 		}
 	case "play":
 		if len(args) < 2 {

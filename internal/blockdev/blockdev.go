@@ -210,9 +210,34 @@ func (f *Faulty) WriteAt(p []byte, off int64) error {
 	return f.BlockDevice.WriteAt(p, off)
 }
 
+// IOStats is a point-in-time snapshot of a device's operation and
+// byte counters. Tests and benches take one before and one after a
+// workload and diff them — e.g. to assert how many disk reads the RAM
+// interval cache saved.
+type IOStats struct {
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s IOStats) Sub(prev IOStats) IOStats {
+	return IOStats{
+		Reads:        s.Reads - prev.Reads,
+		Writes:       s.Writes - prev.Writes,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		BytesWritten: s.BytesWritten - prev.BytesWritten,
+	}
+}
+
+// A StatReader is a device that can report I/O counters. Counting
+// implements it; wrappers that embed a counted device may forward it.
+type StatReader interface {
+	Stats() IOStats
+}
+
 // Counting wraps a device and tallies operations and bytes, used by the
 // benchmarks to verify I/O patterns (e.g. that an IB-tree write is a
-// single transfer).
+// single transfer) and by the cache tests to count reads saved.
 type Counting struct {
 	BlockDevice
 	Reads, Writes           atomic.Int64
@@ -236,4 +261,22 @@ func (c *Counting) WriteAt(p []byte, off int64) error {
 	c.Writes.Add(1)
 	c.BytesWritten.Add(int64(len(p)))
 	return c.BlockDevice.WriteAt(p, off)
+}
+
+// Stats snapshots the counters (StatReader).
+func (c *Counting) Stats() IOStats {
+	return IOStats{
+		Reads:        c.Reads.Load(),
+		Writes:       c.Writes.Load(),
+		BytesRead:    c.BytesRead.Load(),
+		BytesWritten: c.BytesWritten.Load(),
+	}
+}
+
+// Reset zeroes the counters, isolating the next measurement window.
+func (c *Counting) Reset() {
+	c.Reads.Store(0)
+	c.Writes.Store(0)
+	c.BytesRead.Store(0)
+	c.BytesWritten.Store(0)
 }

@@ -214,3 +214,33 @@ func TestMemWriteReadProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCountingStatsAndReset(t *testing.T) {
+	mem, err := NewMem(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewCounting(mem)
+	var _ StatReader = dev // Counting implements StatReader
+	buf := make([]byte, 512)
+	if err := dev.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.Stats()
+	for i := 0; i < 3; i++ {
+		if err := dev.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := dev.Stats().Sub(before)
+	if d.Reads != 3 || d.BytesRead != 3*512 || d.Writes != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if got := dev.Stats(); got.Writes != 1 || got.BytesWritten != 512 {
+		t.Fatalf("stats = %+v", got)
+	}
+	dev.Reset()
+	if got := dev.Stats(); got != (IOStats{}) {
+		t.Fatalf("stats after Reset = %+v", got)
+	}
+}

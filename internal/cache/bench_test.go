@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"testing"
+
+	"calliope/internal/queue"
+)
+
+// BenchmarkCacheLookupHit measures the hit fast path the disk goroutine
+// takes per page — one pin under the cache lock, zero allocations.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	pool, err := queue.NewPagePool(4096, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New(pool)
+	c.PlayerStart("movie", 1, 32)
+	for p := int64(0); p < 32; p++ {
+		ref := c.Alloc()
+		if ref == nil {
+			b.Fatal("pool exhausted during setup")
+		}
+		if !c.Insert("movie", p, ref) {
+			b.Fatal("insert refused during setup")
+		}
+		ref.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := c.Lookup("movie", int64(i)%32)
+		if ref == nil {
+			b.Fatal("warm page missed")
+		}
+		ref.Release()
+	}
+}
+
+// BenchmarkCacheMissInsert measures the miss path: allocate a page
+// (evicting when full), fill it, publish it.
+func BenchmarkCacheMissInsert(b *testing.B) {
+	pool, err := queue.NewPagePool(4096, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New(pool)
+	c.PlayerStart("movie", 1, 1<<30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := c.Alloc()
+		if ref == nil {
+			b.Fatal("alloc failed with eviction available")
+		}
+		c.Insert("movie", int64(i), ref)
+		ref.Release()
+	}
+}

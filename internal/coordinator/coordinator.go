@@ -26,6 +26,7 @@ import (
 
 	"calliope/internal/core"
 	"calliope/internal/schedule"
+	"calliope/internal/trace"
 	"calliope/internal/units"
 	"calliope/internal/wire"
 )
@@ -159,12 +160,29 @@ type msuState struct {
 	peer  *wire.Peer
 	alive bool
 	disks []*diskState
+	// net is the MSU's NIC delivery budget. Every play stream reserves
+	// from it; warmly cached plays reserve ONLY from it, so the RAM
+	// cache multiplies capacity past the disks' duty-cycle limit.
+	net *schedule.Ledger // bit/s
 }
 
 type diskState struct {
 	blockSize int
 	bw        *schedule.Ledger // bit/s
 	space     *schedule.Ledger // blocks
+	// cache and coverage mirror the disk's last cache report: the
+	// hit/miss counters and the per-content RAM footprint that decides
+	// whether a play needs a disk duty-cycle slot.
+	cache    trace.CacheStats
+	coverage map[string]wire.ContentCoverage
+}
+
+// warm reports whether a content is warmly cached on this disk — at
+// least 90% of its pages resident — so a play of it will be served
+// from RAM and needs no disk bandwidth slot.
+func (d *diskState) warm(name string) bool {
+	cov, ok := d.coverage[name]
+	return ok && cov.TotalPages > 0 && cov.CachedPages*10 >= cov.TotalPages*9
 }
 
 type session struct {
@@ -189,6 +207,10 @@ type activeStream struct {
 	spec core.StreamSpec
 	// spaceReserved is the block reservation held for a recording.
 	spaceReserved int64
+	// diskReserved records whether this stream holds a disk bandwidth
+	// slot. Plays of warmly cached content do not — they reserve NIC
+	// bandwidth only.
+	diskReserved bool
 }
 
 // New builds a Coordinator.
@@ -406,6 +428,13 @@ func (ctx *connCtx) handle(msgType string, body json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return nil, c.deleteContent(req.Content)
+	case wire.TypeCacheReport:
+		var req wire.CacheReport
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		ctx.cacheReport(req)
+		return nil, nil
 	case wire.TypeStreamEnded:
 		var req wire.StreamEnded
 		if err := decode(&req); err != nil {
@@ -525,15 +554,29 @@ func (c *Coordinator) status() *wire.Status {
 		if m.alive {
 			st.MSUsAvailable++
 		}
+		if m.net != nil {
+			st.Net = append(st.Net, wire.NetUsage{
+				MSU:   m.id,
+				Alive: m.alive,
+				Used:  units.BitRate(m.net.Reserved()),
+				Cap:   units.BitRate(m.net.Capacity()),
+			})
+		}
 		for i, d := range m.disks {
-			st.Disks = append(st.Disks, wire.DiskUsage{
+			du := wire.DiskUsage{
 				Disk:          core.DiskID{MSU: m.id, N: i},
 				Alive:         m.alive,
 				BandwidthUsed: units.BitRate(d.bw.Reserved()),
 				BandwidthCap:  units.BitRate(d.bw.Capacity()),
 				SpaceUsed:     units.ByteSize((d.space.Reserved() + d.space.Standing()) * int64(d.blockSize)),
 				SpaceCap:      units.ByteSize(d.space.Capacity() * int64(d.blockSize)),
-			})
+				Cache:         d.cache,
+			}
+			for _, cov := range d.coverage {
+				du.Cached = append(du.Cached, cov)
+			}
+			sort.Slice(du.Cached, func(a, b int) bool { return du.Cached[a].Name < du.Cached[b].Name })
+			st.Disks = append(st.Disks, du)
 		}
 	}
 	sort.Slice(st.Disks, func(i, j int) bool {
@@ -542,7 +585,33 @@ func (c *Coordinator) status() *wire.Status {
 		}
 		return st.Disks[i].Disk.N < st.Disks[j].Disk.N
 	})
+	sort.Slice(st.Net, func(i, j int) bool { return st.Net[i].MSU < st.Net[j].MSU })
 	return st
+}
+
+// cacheReport records one disk's advertised cache heat and wakes the
+// pending queue: a play that was waiting on a disk bandwidth slot may
+// now admit without one.
+func (ctx *connCtx) cacheReport(req wire.CacheReport) {
+	c := ctx.c
+	ctx.mu.Lock()
+	m := ctx.msu
+	ctx.mu.Unlock()
+	if m == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.msus[m.id] != m || req.Disk < 0 || req.Disk >= len(m.disks) {
+		return
+	}
+	d := m.disks[req.Disk]
+	d.cache = req.Stats
+	d.coverage = make(map[string]wire.ContentCoverage, len(req.Coverage))
+	for _, cov := range req.Coverage {
+		d.coverage[cov.Name] = cov
+	}
+	c.signalRelease()
 }
 
 // addType installs a content type (administrative).

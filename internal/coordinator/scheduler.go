@@ -88,6 +88,20 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 			rec.setLocation(core.DiskID{MSU: req.ID, N: i})
 		}
 	}
+	// The NIC delivery budget: advertised, or defaulting to the sum of
+	// the disk budgets so a cluster without RAM caching admits exactly
+	// as many streams as it did before the net ledger existed.
+	netCap := int64(req.NetBandwidth)
+	if netCap <= 0 {
+		for _, d := range m.disks {
+			netCap += d.bw.Capacity()
+		}
+	}
+	net, err := schedule.NewLedger(netCap)
+	if err != nil {
+		return nil, err
+	}
+	m.net = net
 	// Sweep stale declarations: anything this MSU used to hold but no
 	// longer declares (deleted while down, or a disk removed) must not
 	// stay schedulable — clients would be dispatched onto nonexistent
@@ -311,12 +325,13 @@ func (c *Coordinator) tryRedispatch(g *failedGroup) (done, retry bool, reason st
 			if c.active[a.id] != a {
 				continue // the replacement's own msuDown already released it
 			}
-			m.disks[disks[i]].bw.Release(uint64(a.id)) //nolint:errcheck
+			c.releaseStreamLocked(a)
 			delete(c.active, a.id)
 		}
 	}
 	for i, a := range g.streams {
-		if err := m.disks[disks[i]].bw.Reserve(uint64(a.id), int64(a.spec.Rate)); err != nil {
+		diskReserved, err := c.reservePlayLocked(m, m.disks[disks[i]], a.id, int64(a.spec.Rate), a.content)
+		if err != nil {
 			rollback()
 			c.mu.Unlock()
 			return false, true, fmt.Sprintf("MSU %q has a replica but no bandwidth", m.id)
@@ -325,6 +340,7 @@ func (c *Coordinator) tryRedispatch(g *failedGroup) (done, retry bool, reason st
 		a.msu = m.id
 		a.disk = disks[i]
 		a.spec.Disk = disks[i]
+		a.diskReserved = diskReserved
 		c.active[a.id] = a
 	}
 	peer := m.peer
@@ -430,6 +446,28 @@ func (c *Coordinator) placePlayLocked(parts []*contentRec) (*msuState, []int, bo
 	return nil, nil, false
 }
 
+// reservePlayLocked commits one play stream's bandwidth: NIC bandwidth
+// always, a disk duty-cycle slot only when the content is not warmly
+// cached on the target disk (§2.2 admission, made cache-aware).
+// Reports whether the disk slot was taken. Callers hold c.mu.
+func (c *Coordinator) reservePlayLocked(m *msuState, d *diskState, id core.StreamID, rate int64, content string) (diskReserved bool, err error) {
+	if m.net != nil {
+		if err := m.net.Reserve(uint64(id), rate); err != nil {
+			return false, err
+		}
+	}
+	if d.warm(content) {
+		return false, nil
+	}
+	if err := d.bw.Reserve(uint64(id), rate); err != nil {
+		if m.net != nil {
+			m.net.Release(uint64(id)) //nolint:errcheck
+		}
+		return false, err
+	}
+	return true, nil
+}
+
 // releaseStreamLocked frees a stream's ledger entries. Callers hold
 // c.mu.
 func (c *Coordinator) releaseStreamLocked(a *activeStream) {
@@ -437,8 +475,15 @@ func (c *Coordinator) releaseStreamLocked(a *activeStream) {
 	if m == nil || a.disk < 0 || a.disk >= len(m.disks) {
 		return
 	}
+	if !a.record && m.net != nil {
+		// Plays hold NIC bandwidth; recordings are inbound traffic and
+		// never touched the delivery ledger.
+		m.net.Release(uint64(a.id)) //nolint:errcheck // released at most once
+	}
 	d := m.disks[a.disk]
-	d.bw.Release(uint64(a.id)) //nolint:errcheck // released at most once
+	if a.diskReserved {
+		d.bw.Release(uint64(a.id)) //nolint:errcheck // released at most once
+	}
 	if a.record && a.spaceReserved > 0 {
 		d.space.Release(uint64(a.id)) //nolint:errcheck
 	}
@@ -715,9 +760,10 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 	var planned []plannedStream
 	rollback := func() {
 		for _, p := range planned {
-			d := m.disks[p.spec.Disk]
-			d.bw.Release(uint64(p.spec.Stream)) //nolint:errcheck
-			delete(c.active, p.spec.Stream)
+			if a := c.active[p.spec.Stream]; a != nil {
+				c.releaseStreamLocked(a)
+				delete(c.active, p.spec.Stream)
+			}
 		}
 	}
 	for pi, part := range parts {
@@ -736,7 +782,8 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 		d := m.disks[disks[pi]]
 		c.nextStream++
 		id := c.nextStream
-		if err := d.bw.Reserve(uint64(id), int64(t.Bandwidth)); err != nil {
+		diskReserved, err := c.reservePlayLocked(m, d, id, int64(t.Bandwidth), part.info.Name)
+		if err != nil {
 			rollback()
 			c.mu.Unlock()
 			return nil, true, fmt.Errorf("%w: disk %v bandwidth", core.ErrNoResources, core.DiskID{MSU: m.id, N: disks[pi]})
@@ -759,7 +806,7 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 		c.active[id] = &activeStream{
 			id: id, group: group, msu: m.id, disk: disks[pi],
 			session: s.id, content: part.info.Name, typ: part.info.Type,
-			spec: spec,
+			spec: spec, diskReserved: diskReserved,
 		}
 	}
 	peer := m.peer
@@ -997,7 +1044,7 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 		c.active[id] = &activeStream{
 			id: id, group: group, msu: chosen.id, disk: placement[pi],
 			session: s.id, content: p.name, typ: p.typ, record: true,
-			spaceReserved: blocks, spec: spec,
+			spaceReserved: blocks, spec: spec, diskReserved: true,
 		}
 	}
 	peer := chosen.peer

@@ -301,6 +301,41 @@ func (c *PageCursor) LoadPage(buf []byte) (bool, error) {
 // data page, -1 before the first LoadPage.
 func (c *PageCursor) Page() int64 { return c.cur }
 
+// NextPage reports the index of the data page the next LoadPage (or
+// AttachPage) would consume, or -1 when the cursor is past the last
+// page. A RAM cache keyed by page index asks this before deciding
+// whether the next page needs a disk read at all.
+func (c *PageCursor) NextPage() int64 {
+	if c.next >= c.t.meta.Pages {
+		return -1
+	}
+	return c.next
+}
+
+// AttachPage advances the cursor onto its next data page using bytes
+// the caller already holds — the cache-hit path. buf must contain
+// exactly the page NextPage reports (as a previous LoadPage of the
+// same content produced it); no disk I/O happens. The page magic is
+// re-verified so a mis-keyed cache entry surfaces as corruption
+// instead of garbage spans. Returns false past the last page.
+func (c *PageCursor) AttachPage(buf []byte) (bool, error) {
+	if len(buf) != c.t.pageSize {
+		return false, fmt.Errorf("ibtree: AttachPage buffer is %d bytes, page size is %d", len(buf), c.t.pageSize)
+	}
+	c.buf = nil
+	if c.next >= c.t.meta.Pages {
+		return false, nil
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != pageMagic {
+		return false, fmt.Errorf("%w: bad magic on attached page %d", ErrCorrupt, c.next)
+	}
+	c.buf = buf
+	c.off = pageHdrLen
+	c.cur = c.next
+	c.next++
+	return true, nil
+}
+
 // Next yields the next packet span within the currently loaded page.
 // ok == false means the page is exhausted: LoadPage the next one.
 // Embedded internal pages are read past without being interpreted, as

@@ -24,10 +24,12 @@ import (
 	"sync"
 	"time"
 
+	"calliope/internal/cache"
 	"calliope/internal/core"
 	"calliope/internal/ibtree"
 	"calliope/internal/msufs"
 	"calliope/internal/protocol"
+	"calliope/internal/queue"
 	"calliope/internal/units"
 	"calliope/internal/wire"
 )
@@ -62,6 +64,16 @@ type Config struct {
 	// DiskBandwidth is the per-disk delivery budget advertised to the
 	// Coordinator. Zero lets the Coordinator pick its default.
 	DiskBandwidth units.BitRate
+	// NetBandwidth is the MSU's NIC delivery budget advertised to the
+	// Coordinator. Zero lets the Coordinator default it to the sum of
+	// the disk budgets; raise it to let RAM-cached streams multiply
+	// capacity past what the disks alone could serve.
+	NetBandwidth units.BitRate
+	// CacheBytes sizes each logical disk's RAM interval cache (§2.3's
+	// buffer memory, spent on whole IB-tree pages shared across
+	// streams). Zero selects DefaultCacheBytes; negative disables
+	// caching.
+	CacheBytes units.ByteSize
 	// ReconnectInterval is the base of the re-registration backoff
 	// after the Coordinator connection drops (attempts space out
 	// exponentially with jitter, capped at BackoffCap).
@@ -78,12 +90,21 @@ type Config struct {
 	Logger *log.Logger
 }
 
+// DefaultCacheBytes is the per-disk RAM cache size when Config leaves
+// CacheBytes zero: room for a few dozen 256 KB pages, enough that
+// concurrent viewers of one title ride each other's reads.
+const DefaultCacheBytes units.ByteSize = 8 << 20
+
 // MSU is the storage-unit server.
 type MSU struct {
 	cfg Config
 	// stores are the logical disks: one per volume, or a single
 	// striped store over all volumes.
 	stores []msufs.Store
+	// caches are the per-store RAM interval caches, indexed like
+	// stores; entries are nil when caching is disabled or the budget
+	// is below one page.
+	caches []*cache.Cache
 
 	mu      sync.Mutex
 	peer    *wire.Peer
@@ -136,10 +157,65 @@ func New(cfg Config) (*MSU, error) {
 	return &MSU{
 		cfg:     cfg,
 		stores:  stores,
+		caches:  buildCaches(cfg.CacheBytes, stores),
 		streams: make(map[core.StreamID]*stream),
 		groups:  make(map[uint64]*group),
 		quit:    make(chan struct{}),
 	}, nil
+}
+
+// buildCaches sizes one RAM interval cache per logical disk. The page
+// size is the store's block size, so cached pages alias directly into
+// the zero-copy delivery path.
+func buildCaches(budget units.ByteSize, stores []msufs.Store) []*cache.Cache {
+	caches := make([]*cache.Cache, len(stores))
+	if budget < 0 {
+		return caches
+	}
+	if budget == 0 {
+		budget = DefaultCacheBytes
+	}
+	for i, store := range stores {
+		pages := int(int64(budget) / int64(store.BlockSize()))
+		if pages < 1 {
+			continue
+		}
+		pool, err := queue.NewPagePool(store.BlockSize(), pages)
+		if err != nil {
+			continue // impossible: both dimensions are positive
+		}
+		caches[i] = cache.New(pool)
+	}
+	return caches
+}
+
+// cacheFor returns the RAM cache for one logical disk, or nil when
+// caching is off.
+func (m *MSU) cacheFor(disk int) *cache.Cache {
+	if disk < 0 || disk >= len(m.caches) {
+		return nil
+	}
+	return m.caches[disk]
+}
+
+// reportCache advertises one disk's cache heat to the Coordinator,
+// which re-evaluates queued admissions on every report. Sent when heat
+// changes: a player reaches EOF or stops.
+func (m *MSU) reportCache(disk int) {
+	c := m.cacheFor(disk)
+	if c == nil {
+		return
+	}
+	report := wire.CacheReport{Disk: disk, Stats: c.Stats()}
+	for _, cov := range c.Coverage() {
+		report.Coverage = append(report.Coverage, wire.ContentCoverage{
+			Name:        cov.Name,
+			CachedPages: cov.CachedPages,
+			TotalPages:  cov.TotalPages,
+			Players:     cov.Players,
+		})
+	}
+	m.notifyCoordinator(wire.TypeCacheReport, report)
 }
 
 // Start connects to the Coordinator and begins serving. It keeps
@@ -242,7 +318,7 @@ func (m *MSU) reconnect() {
 
 // buildHello assembles the registration message from the volumes.
 func (m *MSU) buildHello() (*wire.MSUHello, error) {
-	hello := &wire.MSUHello{ID: m.cfg.ID}
+	hello := &wire.MSUHello{ID: m.cfg.ID, NetBandwidth: m.cfg.NetBandwidth}
 	for _, store := range m.stores {
 		di := wire.DiskInfo{
 			BlockSize:   store.BlockSize(),
@@ -320,7 +396,7 @@ func (m *MSU) deleteContent(name string) error {
 		}
 	}
 	m.mu.Unlock()
-	for _, store := range m.stores {
+	for disk, store := range m.stores {
 		st, err := store.Stat(name)
 		if err != nil {
 			continue
@@ -328,7 +404,13 @@ func (m *MSU) deleteContent(name string) error {
 		for _, companion := range []string{st.Attrs[AttrFastFwd], st.Attrs[AttrFastBack]} {
 			if companion != "" {
 				store.Remove(companion) //nolint:errcheck // best effort
+				if c := m.cacheFor(disk); c != nil {
+					c.Drop(companion)
+				}
 			}
+		}
+		if c := m.cacheFor(disk); c != nil {
+			c.Drop(name)
 		}
 		return store.Remove(name)
 	}

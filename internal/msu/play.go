@@ -5,8 +5,10 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"calliope/internal/cache"
 	"calliope/internal/core"
 	"calliope/internal/ibtree"
 	"calliope/internal/media"
@@ -252,11 +254,24 @@ func (s *stream) playAt(sp core.Speed, normalPos time.Duration) error {
 	default:
 		return fmt.Errorf("%w: speed %v", core.ErrBadRequest, sp)
 	}
+	// The cache indexes pages by the name of the file actually being
+	// read: the content itself at normal speed, its fast-scan
+	// companion otherwise.
+	cname := s.spec.Content
+	switch sp {
+	case core.FastForward:
+		cname = s.ffName
+	case core.FastBackward:
+		cname = s.fbName
+	}
 	p := &player{
 		s:        s,
 		tree:     tree,
 		speed:    sp,
 		startPos: treePos,
+		cache:    s.m.cacheFor(s.spec.Disk),
+		cname:    cname,
+		id:       playerIDs.Add(1),
 		cancel:   make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -304,6 +319,9 @@ func (s *stream) playerEOF(p *player) {
 		s.pos = 0
 	}
 	s.mu.Unlock()
+	// A finished viewer changes the content's heat: tell the
+	// Coordinator so queued plays of now-warm content can admit.
+	s.m.reportCache(s.spec.Disk)
 	if s.group != nil {
 		s.group.memberEOF(s)
 	}
@@ -337,9 +355,17 @@ type player struct {
 	tree     *ibtree.Tree
 	speed    core.Speed
 	startPos time.Duration
-	cancel   chan struct{}
-	done     chan struct{}
-	pool     *queue.PagePool
+	// cache is the disk's shared RAM interval cache (nil when off):
+	// the disk process consults it before every page read, and a hit
+	// delivers straight out of the cached page with no disk I/O and no
+	// copy. cname is the cache key prefix — the file being read — and
+	// id identifies this player in the cache's interval tracking.
+	cache  *cache.Cache
+	cname  string
+	id     uint64
+	cancel chan struct{}
+	done   chan struct{}
+	pool   *queue.PagePool
 	// wake and space park the two processes instead of polling: the
 	// producer nudges wake after an enqueue into an empty-observed
 	// queue window, the consumer nudges space after freeing a slot.
@@ -356,6 +382,10 @@ const queueDepth = 512
 // pages of slack so a page drained mid-iteration never stalls the read.
 const readAheadPages = 4
 
+// playerIDs distinguishes players in the cache's interval tracking;
+// a stream spawns a fresh player on every VCR transition.
+var playerIDs atomic.Uint64
+
 func (p *player) stop() {
 	close(p.cancel)
 	<-p.done
@@ -367,6 +397,12 @@ func (p *player) start() {
 		panic(err)
 	}
 	p.pool = pool
+	if p.cache != nil && p.cache.PageSize() != p.tree.PageSize() {
+		p.cache = nil // mismatched geometry (not a store file): no caching
+	}
+	if p.cache != nil {
+		p.cache.PlayerStart(p.cname, p.id, p.tree.Meta().Pages)
+	}
 	p.wake = make(chan struct{}, 1)
 	p.space = make(chan struct{}, 1)
 	q := queue.NewSPSC[descriptor](queueDepth)
@@ -411,25 +447,26 @@ func (p *player) diskLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 	// it against the last datagram's delivery.
 	var lastT, gap time.Duration
 	for {
-		page := p.pool.Get(p.cancel)
-		if page == nil {
-			return // cancelled while waiting for a free page
-		}
-		ok, err := cur.LoadPage(page.Bytes())
-		if err != nil {
-			page.Release()
-			p.s.m.logf("stream %d: read: %v", p.s.spec.Stream, err)
-			enqueue(descriptor{eof: true}) // t=0: error EOF is reported immediately
-			return
-		}
-		if !ok {
-			page.Release()
+		next := cur.NextPage()
+		if next < 0 {
 			slack := gap
 			if slack <= 0 {
 				slack = 2 * time.Millisecond
 			}
 			enqueue(descriptor{t: lastT + slack, eof: true})
 			return
+		}
+		page, err := p.loadNextPage(cur, next)
+		if err != nil {
+			p.s.m.logf("stream %d: read: %v", p.s.spec.Stream, err)
+			enqueue(descriptor{eof: true}) // t=0: error EOF is reported immediately
+			return
+		}
+		if page == nil {
+			return // cancelled while waiting for a free page
+		}
+		if p.cache != nil {
+			p.cache.PlayerAt(p.cname, p.id, next)
 		}
 		for {
 			span, ok, err := cur.Next()
@@ -467,12 +504,70 @@ func (p *player) diskLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 	}
 }
 
+// loadNextPage produces the page NextPage announced, preferring the
+// disk's RAM cache. A hit pins the cached page and attaches its bytes
+// to the cursor — zero disk I/O, zero copy, zero allocation. A miss
+// reads from disk, into a cache page when one is allocatable (the page
+// is then inserted for every later player) or into the player's
+// private read-ahead pool when the cache is fully pinned. Returns
+// (nil, nil) only when cancelled while waiting for a private page.
+func (p *player) loadNextPage(cur *ibtree.PageCursor, next int64) (*queue.PageRef, error) {
+	if p.cache != nil {
+		if hit := p.cache.Lookup(p.cname, next); hit != nil {
+			ok, err := cur.AttachPage(hit.Bytes())
+			if err == nil && ok {
+				return hit, nil
+			}
+			// The entry failed page verification (or the cursor is past
+			// the end, which NextPage already excluded): purge it and
+			// fall back to the disk read.
+			hit.Release()
+			p.cache.Invalidate(p.cname, next)
+			p.s.m.logf("stream %d: cached page %d invalid: %v", p.s.spec.Stream, next, err)
+		}
+	}
+	var page *queue.PageRef
+	insert := false
+	if p.cache != nil {
+		if page = p.cache.Alloc(); page != nil {
+			insert = true
+		}
+	}
+	if page == nil {
+		if page = p.pool.Get(p.cancel); page == nil {
+			return nil, nil
+		}
+	}
+	ok, err := cur.LoadPage(page.Bytes())
+	if err != nil {
+		page.Release()
+		return nil, err
+	}
+	if !ok { // impossible: NextPage said this page exists
+		page.Release()
+		return nil, fmt.Errorf("msu: page %d vanished mid-read", next)
+	}
+	if insert {
+		p.cache.Insert(p.cname, next, page)
+	}
+	return page, nil
+}
+
 // netLoop is the network process: it dequeues descriptors and sends
 // each packet at its scheduled time, writing straight out of the page
 // buffer. One timer paces every packet of the session; an empty queue
 // parks the goroutine on the wake channel instead of spinning.
 func (p *player) netLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 	defer close(p.done)
+	if p.cache != nil {
+		// Deregister from the cache's interval tracking when the session
+		// ends, and advertise the heat change. Runs before done closes;
+		// no MSU lock is held while stop() waits, so the notify is safe.
+		defer func() {
+			p.cache.PlayerStop(p.cname, p.id)
+			p.s.m.reportCache(p.s.spec.Disk)
+		}()
+	}
 	// drain releases the page references still queued when the session
 	// ends, so every pool page is accounted for at teardown.
 	drain := func() {

@@ -45,6 +45,13 @@ func NewPagePool(size, count int) (*PagePool, error) {
 // PageSize reports the size of each page in the pool.
 func (p *PagePool) PageSize() int { return p.size }
 
+// Cap reports the pool's total page count.
+func (p *PagePool) Cap() int { return cap(p.free) }
+
+// Free reports how many pages are currently idle in the pool. Pages
+// held by callers (including long-lived cache pins) are not free.
+func (p *PagePool) Free() int { return len(p.free) }
+
 // Get returns a page with one reference, blocking until a page is free
 // or cancel is closed (nil on cancel). This block is the read-ahead
 // bound: a disk process can run at most the pool's page count ahead of

@@ -1,0 +1,51 @@
+package trace
+
+import "fmt"
+
+// CacheStats is a point-in-time snapshot of an interval cache's
+// counters (internal/cache). The MSU ships these to the Coordinator in
+// cache reports; operator tooling (calliope-client status) prints them
+// next to the lateness distributions this package already renders.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Inserts   int64 `json:"inserts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Lookups reports the total page lookups the snapshot covers.
+func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRatio reports hits as a fraction of lookups, 0 with no lookups.
+func (s CacheStats) HitRatio() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Sub returns the counter deltas since an earlier snapshot — the way
+// benches isolate one measurement window from warmup traffic.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Inserts:   s.Inserts - prev.Inserts,
+		Evictions: s.Evictions - prev.Evictions,
+	}
+}
+
+// Add merges two snapshots (e.g. one per disk into an MSU total).
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Inserts:   s.Inserts + o.Inserts,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits %d misses %d (%.1f%% hit) inserts %d evictions %d",
+		s.Hits, s.Misses, 100*s.HitRatio(), s.Inserts, s.Evictions)
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"calliope/internal/core"
+	"calliope/internal/trace"
 	"calliope/internal/units"
 )
 
@@ -25,6 +26,7 @@ const (
 	TypeMSUHello      = "msu-hello"
 	TypeStreamEnded   = "stream-ended"
 	TypeRecordingDone = "recording-done"
+	TypeCacheReport   = "cache-report"
 
 	// Coordinator → MSU.
 	TypeStartStream = "start-stream"
@@ -161,6 +163,17 @@ type Status struct {
 	Sessions      int         `json:"sessions"`
 	Requests      int64       `json:"requests"`
 	Disks         []DiskUsage `json:"disks,omitempty"`
+	Net           []NetUsage  `json:"net,omitempty"`
+}
+
+// NetUsage is one MSU's network-bandwidth scheduling state: cached and
+// uncached streams alike reserve NIC bandwidth, so this is the binding
+// limit once the RAM cache absorbs the disk load.
+type NetUsage struct {
+	MSU   core.MSUID    `json:"msu"`
+	Alive bool          `json:"alive"`
+	Used  units.BitRate `json:"used"`
+	Cap   units.BitRate `json:"cap"`
 }
 
 // DiskUsage is one disk's scheduling state: how much of its bandwidth
@@ -173,6 +186,9 @@ type DiskUsage struct {
 	BandwidthCap  units.BitRate  `json:"bandwidthCap"`
 	SpaceUsed     units.ByteSize `json:"spaceUsed"` // stored + reserved
 	SpaceCap      units.ByteSize `json:"spaceCap"`
+	// RAM interval-cache state from the disk's last cache report.
+	Cache  trace.CacheStats  `json:"cache,omitzero"`
+	Cached []ContentCoverage `json:"cached,omitempty"`
 }
 
 // DiskInfo describes one MSU disk in MSUHello.
@@ -198,6 +214,32 @@ type ContentDecl struct {
 type MSUHello struct {
 	ID    core.MSUID `json:"id"`
 	Disks []DiskInfo `json:"disks"`
+	// NetBandwidth is the MSU's network (NIC) delivery budget. Zero
+	// lets the Coordinator default it to the sum of the disk budgets,
+	// which keeps cold-content admission exactly as bandwidth-limited
+	// as before RAM caching existed.
+	NetBandwidth units.BitRate `json:"netBandwidth,omitempty"`
+}
+
+// ContentCoverage is one content's RAM-cache footprint on an MSU disk:
+// CachedPages of TotalPages resident, Players actively reading. The
+// Coordinator treats warmly covered content as servable without a disk
+// duty-cycle slot.
+type ContentCoverage struct {
+	Name        string `json:"name"`
+	CachedPages int64  `json:"cachedPages"`
+	TotalPages  int64  `json:"totalPages"`
+	Players     int    `json:"players"`
+}
+
+// CacheReport advertises one disk's interval-cache state (MSU →
+// Coordinator notification, sent when content heat changes — a player
+// reaching EOF or tearing down). The Coordinator re-evaluates its
+// admission queue on every report.
+type CacheReport struct {
+	Disk     int               `json:"disk"`
+	Stats    trace.CacheStats  `json:"stats"`
+	Coverage []ContentCoverage `json:"coverage,omitempty"`
 }
 
 // MSUWelcome answers MSUHello.
