@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race faults bench bench-smoke bench-path bench-cache repro examples clean
+.PHONY: all build vet lint test race faults leakcheck bench bench-smoke bench-path bench-cache repro examples clean
 
 all: build vet lint test
 
@@ -12,8 +12,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Calliope's own analyzers: spscrole, walltime, atomiccopy, errdropped
-# (see DESIGN.md, "Static analysis & invariants").
+# Calliope's own analyzers: spscrole, walltime, atomiccopy, errdropped,
+# pageref, lockorder, goroleak (see DESIGN.md, "Static analysis &
+# invariants").
 lint:
 	$(GO) run ./cmd/calliope-vet ./...
 
@@ -22,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The concurrent packages' test suites with verbose goroutine-leak
+# reporting: every TestMain runs internal/leakcheck, and the tag makes
+# clean packages print their final goroutine count too.
+leakcheck:
+	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/leakcheck
 
 # Failure-recovery tests under deterministic fault injection
 # (internal/faultinject; see DESIGN.md, "Failure handling").

@@ -156,9 +156,15 @@ func play(c *calliope.Client, content string) {
 	fmt.Printf("playing %q (%v) from %s — commands: pause, play, seek <dur>, ff, fb, quit\n",
 		content, stream.Length().Round(time.Millisecond), stream.Info().MSU)
 
+	// The event printer gets an explicit shutdown edge so it does not
+	// outlive the play session (goroleak).
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
 		for {
 			select {
+			case <-done:
+				return
 			case <-stream.EOF():
 				fmt.Printf("\n[end of content — %d packets, %s received]\n> ", recv.Count(), units.ByteSize(recv.Bytes()))
 			case m := <-stream.Migrated():

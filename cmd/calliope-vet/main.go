@@ -1,7 +1,11 @@
 // Command calliope-vet is Calliope's custom static-analysis
 // multichecker. It runs the repo-specific analyzers — spscrole,
-// walltime, atomiccopy, errdropped — over the packages named on the
-// command line and exits non-zero if any invariant is violated.
+// walltime, atomiccopy, errdropped, pageref, lockorder, goroleak —
+// over the packages named on the command line and exits non-zero if
+// any invariant is violated. Per-package checks run package by
+// package; cross-package checks (lockorder's acquisition graph,
+// goroleak's spawn-target resolution) run once over the whole load
+// set.
 //
 // Usage:
 //
@@ -29,6 +33,9 @@ import (
 	"calliope/internal/analysis/atomiccopy"
 	"calliope/internal/analysis/errdropped"
 	"calliope/internal/analysis/framework"
+	"calliope/internal/analysis/goroleak"
+	"calliope/internal/analysis/lockorder"
+	"calliope/internal/analysis/pageref"
 	"calliope/internal/analysis/spscrole"
 	"calliope/internal/analysis/walltime"
 )
@@ -38,6 +45,9 @@ var analyzers = []*framework.Analyzer{
 	walltime.Analyzer,
 	atomiccopy.Analyzer,
 	errdropped.Analyzer,
+	pageref.Analyzer,
+	lockorder.Analyzer,
+	goroleak.Analyzer,
 }
 
 func main() {
@@ -90,7 +100,11 @@ func main() {
 	loader.ModulePath = modPath
 	loader.ModuleRoot = root
 
+	// Load the whole set first: cross-package analyzers (lockorder)
+	// need every package type-checked before they can build their
+	// tree-wide graphs.
 	exit := 0
+	var pkgs []*framework.Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -98,21 +112,21 @@ func main() {
 			exit = 1
 			continue
 		}
-		diags, err := framework.Run(pkg, selected)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "calliope-vet: %v\n", err)
-			exit = 1
-			continue
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := framework.RunProject(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calliope-vet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		rel, rerr := filepath.Rel(root, pos.Filename)
+		if rerr != nil {
+			rel = pos.Filename
 		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			rel, rerr := filepath.Rel(root, pos.Filename)
-			if rerr != nil {
-				rel = pos.Filename
-			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
-			exit = 1
-		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
+		exit = 1
 	}
 	os.Exit(exit)
 }

@@ -35,39 +35,49 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads each package path from testdata/src, applies the analyzer,
-// and diffs diagnostics against want comments.
+// Run loads every package path from testdata/src into one load set,
+// applies the analyzer across it (per-package Run and cross-package
+// RunAll both fire), and diffs diagnostics against want comments in
+// any of the loaded packages.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
 	t.Helper()
 	loader := framework.NewLoader()
 	loader.SrcRoot = filepath.Join(testdata, "src")
+	var pkgs []*framework.Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		diags, err := framework.Run(pkg, []*framework.Analyzer{a})
-		if err != nil {
-			t.Errorf("running %s on %s: %v", a.Name, path, err)
-			continue
-		}
-		checkPackage(t, pkg, diags)
+		pkgs = append(pkgs, pkg)
 	}
+	if len(pkgs) == 0 {
+		return
+	}
+	diags, err := framework.RunProject(pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Errorf("running %s: %v", a.Name, err)
+		return
+	}
+	checkPackages(t, pkgs, diags)
 }
 
-func checkPackage(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+func checkPackages(t *testing.T, pkgs []*framework.Package, diags []framework.Diagnostic) {
 	t.Helper()
+	fset := pkgs[0].Fset
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				wants = append(wants, parseWants(t, pkg.Fset, c.Pos(), c.Text)...)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, fset, c.Pos(), c.Text)...)
+				}
 			}
 		}
 	}
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		if !claim(wants, pos.Filename, pos.Line, d.Message) {
 			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 		}

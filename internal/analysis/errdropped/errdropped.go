@@ -9,8 +9,11 @@
 // //nolint:errdropped on the call's line.
 //
 // Flagged forms: a call used as a bare statement, a call launched via
-// go/defer (whose error is unobservable), and an assignment binding an
-// error result to the blank identifier.
+// go/defer (whose error is unobservable), an assignment or var
+// declaration binding an error result to the blank identifier, and a
+// go/defer of a function literal that itself returns an error — the
+// classic teardown shape `go func() { ... }()` wrapping control-plane
+// closes loses the literal's error at the statement boundary.
 package errdropped
 
 import (
@@ -43,10 +46,14 @@ func run(pass *framework.Pass) error {
 				}
 			case *ast.GoStmt:
 				check(pass, n.Call, "unobservable in a go statement")
+				checkFuncLit(pass, n.Call, "goroutine")
 			case *ast.DeferStmt:
 				check(pass, n.Call, "unobservable in a deferred call")
+				checkFuncLit(pass, n.Call, "deferred call")
 			case *ast.AssignStmt:
 				checkAssign(pass, n)
+			case *ast.ValueSpec:
+				checkValueSpec(pass, n)
 			}
 			return true
 		})
@@ -62,6 +69,70 @@ func check(pass *framework.Pass, call *ast.CallExpr, how string) {
 		return
 	}
 	pass.Reportf(call.Pos(), "error from %s.%s %s: a dropped control-plane error hangs the peer — handle it or annotate //nolint:errcheck", pkgBase(fn), fn.Name(), how)
+}
+
+// checkFuncLit reports a go/defer of a function literal whose own
+// error result vanishes at the statement boundary. Only literals whose
+// body reaches into a target package are in scope: the analyzer guards
+// control-plane errors, not every error-returning closure.
+func checkFuncLit(pass *framework.Pass, call *ast.CallExpr, how string) {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok || lit.Type.Results == nil {
+		return
+	}
+	returnsError := false
+	for _, field := range lit.Type.Results.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isErrorType(tv.Type) {
+			returnsError = true
+		}
+	}
+	if !returnsError {
+		return
+	}
+	touches := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && target(pass, c) != nil {
+			touches = true
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+	pass.Reportf(lit.Pos(), "error returned by this function literal is unobservable in a %s: a dropped control-plane error hangs the peer — handle it inside the literal or annotate //nolint:errcheck", how)
+}
+
+// checkValueSpec reports the `var _ = f()` declaration form, which
+// drops an error exactly like `_ = f()` but is not an AssignStmt.
+func checkValueSpec(pass *framework.Pass, n *ast.ValueSpec) {
+	for i, v := range n.Values {
+		call, ok := v.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := target(pass, call)
+		if fn == nil {
+			continue
+		}
+		// var x, _ = f() (multi-value) or var _ = f() (single).
+		if len(n.Values) == 1 && len(n.Names) > 1 {
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			for j := 0; j < sig.Results().Len() && j < len(n.Names); j++ {
+				if isErrorType(sig.Results().At(j).Type()) && n.Names[j].Name == "_" {
+					pass.Reportf(n.Names[j].Pos(), "error from %s.%s assigned to _: a dropped control-plane error hangs the peer — handle it or annotate //nolint:errcheck", pkgBase(fn), fn.Name())
+				}
+			}
+			continue
+		}
+		if i < len(n.Names) && n.Names[i].Name == "_" {
+			if tv, ok := pass.TypesInfo.Types[call]; ok && isErrorType(tv.Type) {
+				pass.Reportf(n.Names[i].Pos(), "error from %s.%s assigned to _: a dropped control-plane error hangs the peer — handle it or annotate //nolint:errcheck", pkgBase(fn), fn.Name())
+			}
+		}
+	}
 }
 
 // checkAssign reports error results bound to the blank identifier.

@@ -9,11 +9,11 @@ import (
 
 // bad drops control-plane errors every flagged way.
 func bad(p *wire.Peer) {
-	p.Notify("x")          // want `error from wire\.Notify discarded`
-	defer p.Close()        // want `unobservable in a deferred call`
-	go p.Notify("y")       // want `unobservable in a go statement`
-	_ = p.Notify("z")      // want `error from wire\.Notify assigned to _`
-	_, _ = wire.Dial("d")  // want `error from wire\.Dial assigned to _`
+	p.Notify("x")               // want `error from wire\.Notify discarded`
+	defer p.Close()             // want `unobservable in a deferred call`
+	go p.Notify("y")            // want `unobservable in a go statement`
+	_ = p.Notify("z")           // want `error from wire\.Notify assigned to _`
+	_, _ = wire.Dial("d")       // want `error from wire\.Dial assigned to _`
 	_, _ = protocol.Decode(nil) // want `error from protocol\.Decode assigned to _`
 }
 
@@ -32,8 +32,57 @@ func good(p *wire.Peer) error {
 	}
 	p.Notify("teardown") //nolint:errcheck
 	p.Notify("teardown") //nolint:errdropped
-	wire.Name() // no error result: never flagged
+	wire.Name()          // no error result: never flagged
 	return peer.Close()
+}
+
+// teardownGoroutine is the known false-negative class: a goroutine
+// wrapping control-plane teardown whose own error result has nowhere
+// to go.
+func teardownGoroutine(p *wire.Peer) {
+	go func() error { // want `error returned by this function literal is unobservable in a goroutine`
+		return p.Close()
+	}()
+	defer func() error { // want `error returned by this function literal is unobservable in a deferred call`
+		p.Notify("bye") // want `error from wire\.Notify discarded`
+		return p.Close()
+	}()
+	go func() (int, error) { // want `error returned by this function literal is unobservable in a goroutine`
+		n, err := protocol.Decode(nil)
+		return n, err
+	}()
+}
+
+// deferredCloseInGoroutine: the blank-assigned close inside a spawned
+// literal is still a drop — nesting must not hide it.
+func deferredCloseInGoroutine(p *wire.Peer) {
+	go func() {
+		defer func() {
+			_ = p.Close() // want `error from wire\.Close assigned to _`
+		}()
+	}()
+}
+
+// varDrop drops an error through a declaration instead of an
+// assignment.
+func varDrop(p *wire.Peer) {
+	var _ = p.Notify("x")     // want `error from wire\.Notify assigned to _`
+	var _, _ = wire.Dial("d") // want `error from wire\.Dial assigned to _`
+}
+
+// goodLiterals: error-returning literals whose results are consumed,
+// literals with no error result, and out-of-scope bodies.
+func goodLiterals(p *wire.Peer, report func(error)) {
+	go func() {
+		if err := p.Close(); err != nil {
+			report(err)
+		}
+	}()
+	go func() int { return 1 }()
+	go func() error { return helper() }()  // non-target body: out of scope
+	go func() error { return p.Close() }() //nolint:errcheck // teardown: peer already torn down, nothing to report to
+	var keep = p.Notify("x")
+	report(keep)
 }
 
 // localDrop drops an error from a non-target package — out of scope.

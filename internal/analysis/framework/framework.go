@@ -26,7 +26,9 @@ import (
 	"strings"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. An analyzer provides Run (a
+// per-package check), RunAll (a whole-load-set check for invariants
+// that span packages, like lock-ordering), or both.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and nolint comments.
 	Name string
@@ -37,6 +39,10 @@ type Analyzer struct {
 	Suppress []string
 	// Run executes the check over one package.
 	Run func(*Pass) error
+	// RunAll executes the check once over the whole load set, after
+	// every package has been type-checked. Cross-package analyzers
+	// (lockorder) use this instead of Run.
+	RunAll func(*ProjectPass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -66,53 +72,102 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run executes the analyzers over a loaded package and returns the
+// ProjectPass carries a RunAll analyzer's view of a whole load set:
+// every package the tool was pointed at, type-checked under one
+// FileSet.
+type ProjectPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProjectPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// Run executes the analyzers over one loaded package and returns the
 // surviving (non-suppressed) diagnostics in position order.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunProject([]*Package{pkg}, analyzers)
+}
+
+// RunProject executes the analyzers over a whole load set: Run per
+// package, RunAll once across all of them. All packages must come from
+// one Loader (they share its FileSet). Diagnostics are
+// suppression-filtered and returned in position order.
+func RunProject(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			diags:     &diags,
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					diags:     &diags,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+				}
+			}
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+		if a.RunAll != nil {
+			pass := &ProjectPass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				diags:    &diags,
+			}
+			if err := a.RunAll(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing project: %w", a.Name, err)
+			}
 		}
 	}
-	diags = filterSuppressed(pkg, diags)
+	diags = filterSuppressed(pkgs, diags)
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
 }
 
 // filterSuppressed drops diagnostics whose source line carries a
 // matching nolint comment.
-func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+func filterSuppressed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	// file → line → set of nolint names on that line.
 	suppressed := make(map[string]map[int][]string)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := nolintNames(c.Text)
-				if len(names) == 0 {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names := nolintNames(c.Text)
+					if len(names) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					m := suppressed[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						suppressed[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], names...)
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				m := suppressed[pos.Filename]
-				if m == nil {
-					m = make(map[int][]string)
-					suppressed[pos.Filename] = m
-				}
-				m[pos.Line] = append(m[pos.Line], names...)
 			}
 		}
 	}
+	fset := pkgs[0].Fset
 	out := diags[:0]
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		if lineSuppresses(suppressed[pos.Filename][pos.Line], d.Analyzer) {
 			continue
 		}

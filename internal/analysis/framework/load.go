@@ -3,6 +3,7 @@ package framework
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -106,6 +107,12 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// Respect //go:build constraints and GOOS/GOARCH filename
+		// suffixes: a package with tag-gated variants (leakcheck's
+		// verbose toggle) must load exactly one of them.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

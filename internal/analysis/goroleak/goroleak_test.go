@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"calliope/internal/analysis/analysistest"
+	"calliope/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "a")
+}

@@ -1,0 +1,186 @@
+// Package a exercises the goroleak analyzer: goroutines spun up with
+// no shutdown edge (bare spin loops, the break-binds-to-switch trap,
+// named-function and method spawns, select{}, sleep-polling) against
+// the clean teardown idioms (quit channels, channel ranges, bounded
+// loops, labeled breaks, one-shot goroutines).
+package a
+
+import "time"
+
+func tick()        {}
+func stop() bool   { return false }
+func poll() bool   { return false }
+func handle(x int) {}
+
+// Shape 1: bare spin loop, nothing can stop it.
+func spin() {
+	go func() { // want `goroutine never exits: the for loop at line \d+ has no return, break, or terminating condition`
+		for {
+			tick()
+		}
+	}()
+}
+
+// Shape 2: the break binds to the switch, not the loop — the classic
+// trap; the goroutine spins forever.
+func breakBindsSwitch(mode int) {
+	go func() { // want `goroutine never exits: the for loop`
+		for {
+			switch mode {
+			case 0:
+				break
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+// The select flavor of the same trap.
+func breakBindsSelect(ch chan int) {
+	go func() { // want `goroutine never exits: the for loop`
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// Shape 3: spawning a named function with an inescapable loop.
+func pump() {
+	for {
+		tick()
+	}
+}
+
+func spawnNamed() {
+	go pump() // want `goroutine never exits: the for loop`
+}
+
+// Shape 4: spawning a method with an inescapable loop.
+type server struct{}
+
+func (s *server) run() {
+	for {
+		tick()
+	}
+}
+
+func spawnMethod(s *server) {
+	go s.run() // want `goroutine never exits: the for loop`
+}
+
+// Shape 5: select{} blocks forever.
+func blockForever() {
+	go func() { // want `goroutine never exits: the select\{\} at line \d+`
+		select {}
+	}()
+}
+
+// Shape 6: sleep-polling with no exit condition.
+func pollForever() {
+	go func() { // want `goroutine never exits: the for loop`
+		for {
+			time.Sleep(time.Second)
+			poll()
+		}
+	}()
+}
+
+// --- clean teardown idioms ---
+
+// A quit channel gives the loop a shutdown edge.
+func quitChannel(work chan int, quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case x := <-work:
+				handle(x)
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// Ranging over a channel ends when the producer closes it.
+func rangeChannel(work chan int) {
+	go func() {
+		for x := range work {
+			handle(x)
+		}
+	}()
+}
+
+// A conditional loop terminates by its own condition.
+func conditional() {
+	go func() {
+		for i := 0; i < 100; i++ {
+			tick()
+		}
+	}()
+}
+
+// An unlabeled break directly in the loop is an exit.
+func directBreak() {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+			tick()
+		}
+	}()
+}
+
+// A labeled break from inside a select does exit the loop.
+func labeledBreak(ch chan int) {
+	go func() {
+	drain:
+		for {
+			select {
+			case x, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				handle(x)
+			}
+		}
+		tick()
+	}()
+}
+
+// A named spawn target with a return path is fine.
+func worker(quit chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+			tick()
+		}
+	}
+}
+
+func spawnWorker(quit chan struct{}) {
+	go worker(quit)
+}
+
+// One-shot goroutines exit on their own.
+func oneShot(done chan struct{}) {
+	go func() {
+		tick()
+		close(done)
+	}()
+}
+
+// Deliberately immortal goroutines carry a justification.
+func immortal() {
+	go func() { //nolint:goroleak // heartbeat for the process lifetime
+		for {
+			tick()
+		}
+	}()
+}

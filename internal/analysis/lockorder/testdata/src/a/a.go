@@ -1,0 +1,245 @@
+// Package a exercises the lockorder analyzer: two-lock and three-lock
+// cycles, interprocedural and cross-package edges, read-lock
+// participation, and non-reentrant double locking — plus the clean
+// idioms (consistent global order, unlock-before-lock, the
+// *Locked-suffix convention, branch-local locking, goroutine spawns)
+// that must stay silent.
+package a
+
+import (
+	"sync"
+
+	"reg"
+)
+
+// --- shape 1: plain two-lock cycle ---
+
+type pair struct {
+	a, b sync.Mutex
+}
+
+func cycleAB(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `acquiring a.pair.b while holding a.pair.a .*lock-order cycle`
+	p.b.Unlock()
+}
+
+func cycleBA(p *pair) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want `acquiring a.pair.a while holding a.pair.b .*lock-order cycle`
+	p.a.Unlock()
+}
+
+// --- shape 2: three-lock cycle ---
+
+type triple struct {
+	x, y, z sync.Mutex
+}
+
+func lockXY(t *triple) {
+	t.x.Lock()
+	defer t.x.Unlock()
+	t.y.Lock() // want `acquiring a.triple.y while holding a.triple.x .*a.triple.x → a.triple.y → a.triple.z → a.triple.x`
+	t.y.Unlock()
+}
+
+func lockYZ(t *triple) {
+	t.y.Lock()
+	defer t.y.Unlock()
+	t.z.Lock() // want `acquiring a.triple.z while holding a.triple.y .*lock-order cycle`
+	t.z.Unlock()
+}
+
+func lockZX(t *triple) {
+	t.z.Lock()
+	defer t.z.Unlock()
+	t.x.Lock() // want `acquiring a.triple.x while holding a.triple.z .*lock-order cycle`
+	t.x.Unlock()
+}
+
+// --- shape 3: the reverse acquisition hides inside a call ---
+
+type ledger struct {
+	mu sync.Mutex
+}
+
+type journal struct {
+	mu sync.Mutex
+}
+
+func appendJournal(j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+}
+
+func ledgerThenJournal(l *ledger, j *journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	appendJournal(j) // want `call to appendJournal acquires a.journal.mu while holding a.ledger.mu.*lock-order cycle`
+}
+
+func journalThenLedger(l *ledger, j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	l.mu.Lock() // want `acquiring a.ledger.mu while holding a.journal.mu.*lock-order cycle`
+	l.mu.Unlock()
+}
+
+// --- shape 4: cross-package cycle with reg.Registry ---
+
+type Server struct {
+	mu  sync.Mutex
+	reg *reg.Registry
+}
+
+func (s *Server) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Add("flush") // want `call to Add acquires reg.Registry.Mu while holding a.Server.mu.*lock-order cycle`
+}
+
+func (s *Server) Audit(r *reg.Registry) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	s.mu.Lock() // want `acquiring a.Server.mu while holding reg.Registry.Mu.*lock-order cycle`
+	s.mu.Unlock()
+}
+
+// --- shape 5: read locks participate in cycles too ---
+
+type feed struct {
+	state sync.RWMutex
+	out   sync.Mutex
+}
+
+func readThenEmit(f *feed) {
+	f.state.RLock()
+	defer f.state.RUnlock()
+	f.out.Lock() // want `acquiring a.feed.out while holding a.feed.state.*lock-order cycle`
+	f.out.Unlock()
+}
+
+func emitThenWrite(f *feed) {
+	f.out.Lock()
+	defer f.out.Unlock()
+	f.state.Lock() // want `acquiring a.feed.state while holding a.feed.out.*lock-order cycle`
+	f.state.Unlock()
+}
+
+// --- shape 6: non-reentrant double lock ---
+
+type once struct {
+	mu sync.Mutex
+}
+
+func relock(o *once) {
+	o.mu.Lock()
+	o.mu.Lock() // want `a.once.mu is locked again while already held`
+	o.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// --- clean: consistent global order is fine however often it recurs ---
+
+type flow struct {
+	head, tail sync.Mutex
+}
+
+func drain(f *flow) {
+	f.head.Lock()
+	defer f.head.Unlock()
+	f.tail.Lock()
+	f.tail.Unlock()
+}
+
+func fill(f *flow) {
+	f.head.Lock()
+	f.tail.Lock()
+	f.tail.Unlock()
+	f.head.Unlock()
+}
+
+// --- clean: unlock before taking the other lock (no overlap) ---
+
+type swap struct {
+	left, right sync.Mutex
+}
+
+func leftOnly(s *swap) {
+	s.left.Lock()
+	s.left.Unlock()
+	s.right.Lock()
+	s.right.Unlock()
+}
+
+func rightThenLeft(s *swap) {
+	s.right.Lock()
+	defer s.right.Unlock()
+	s.left.Lock()
+	s.left.Unlock()
+}
+
+// --- clean: the *Locked-suffix convention drops and retakes the
+// caller's lock; that is not a new ordering edge ---
+
+type table struct {
+	mu sync.Mutex
+}
+
+func waitTableLocked(t *table) {
+	t.mu.Unlock()
+	t.mu.Lock()
+}
+
+func updateTable(t *table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	waitTableLocked(t)
+}
+
+// --- clean: branch arms do not leak held locks to the fall-through ---
+
+type fork struct {
+	left, right sync.Mutex
+}
+
+func pickOne(f *fork, l bool) {
+	if l {
+		f.left.Lock()
+		f.left.Unlock()
+	} else {
+		f.right.Lock()
+		f.right.Unlock()
+	}
+}
+
+func rightBeforeLeft(f *fork) {
+	f.right.Lock()
+	defer f.right.Unlock()
+	f.left.Lock()
+	f.left.Unlock()
+}
+
+// --- clean: a spawned goroutine does not inherit the spawner's locks ---
+
+type spawn struct {
+	outer, inner sync.Mutex
+}
+
+func launch(s *spawn) {
+	s.outer.Lock()
+	defer s.outer.Unlock()
+	go func() {
+		s.inner.Lock()
+		s.inner.Unlock()
+	}()
+}
+
+func innerBeforeOuter(s *spawn) {
+	s.inner.Lock()
+	defer s.inner.Unlock()
+	s.outer.Lock()
+	s.outer.Unlock()
+}

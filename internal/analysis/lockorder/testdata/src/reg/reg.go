@@ -1,0 +1,29 @@
+// Package reg is a fixture registry for the lockorder testdata: its
+// exported mutex participates in a cross-package lock-order cycle
+// witnessed from package a.
+package reg
+
+import "sync"
+
+// Registry guards a name table with an exported mutex.
+type Registry struct {
+	Mu    sync.Mutex
+	names map[string]bool
+}
+
+// Add locks the registry for a local update.
+func (r *Registry) Add(name string) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	if r.names == nil {
+		r.names = make(map[string]bool)
+	}
+	r.names[name] = true
+}
+
+// Has locks the registry for a local read.
+func (r *Registry) Has(name string) bool {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return r.names[name]
+}

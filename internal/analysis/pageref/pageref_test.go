@@ -1,0 +1,12 @@
+package pageref_test
+
+import (
+	"testing"
+
+	"calliope/internal/analysis/analysistest"
+	"calliope/internal/analysis/pageref"
+)
+
+func TestPageRef(t *testing.T) {
+	analysistest.Run(t, "testdata", pageref.Analyzer, "a")
+}

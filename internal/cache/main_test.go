@@ -1,0 +1,11 @@
+package cache
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (an eviction or refresh worker without a shutdown edge).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,11 @@
+package client
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (a receive loop or event dispatcher without a shutdown edge).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

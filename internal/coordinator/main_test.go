@@ -1,0 +1,11 @@
+package coordinator
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (a scheduler, prefetcher, or session loop without a shutdown edge).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,11 @@
+package faultinject
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (a fault timer or delayed-recovery worker without a shutdown edge).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,7 @@
+//go:build !leakcheck
+
+package leakcheck
+
+// verbose is enabled by building with -tags leakcheck (make
+// leakcheck): a clean run then reports its final goroutine count.
+const verbose = false

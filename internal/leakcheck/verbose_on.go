@@ -1,0 +1,6 @@
+//go:build leakcheck
+
+package leakcheck
+
+// verbose reports the final goroutine count even on clean runs.
+const verbose = true

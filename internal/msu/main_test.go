@@ -1,0 +1,12 @@
+package msu
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (a disk loop, delivery pump, or group feeder without a shutdown
+// edge).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

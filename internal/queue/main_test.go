@@ -1,0 +1,11 @@
+package queue
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (a producer or consumer blocked on a queue that was never closed).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,11 @@
+package wire
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (a read loop or serve goroutine that outlives its peer).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

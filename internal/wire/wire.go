@@ -251,7 +251,11 @@ func (p *Peer) Notify(msgType string, v any) error {
 	return p.send(&Envelope{Kind: KindNotify, Type: msgType, Body: body})
 }
 
-// Close tears the connection down; pending calls fail.
+// Close tears the connection down; pending calls fail. It waits for
+// the read loop to drain, but not for the onDown callback: onDown may
+// itself call Close (a dead connection tears down the owning session,
+// and teardown closes the peer), so waiting on it would deadlock the
+// read-loop goroutine against itself.
 func (p *Peer) Close() error {
 	err := p.conn.Close()
 	p.wg.Wait()
@@ -259,7 +263,6 @@ func (p *Peer) Close() error {
 }
 
 func (p *Peer) readLoop() {
-	defer p.wg.Done()
 	br := bufio.NewReader(p.conn)
 	var readErr error
 	for {
@@ -300,6 +303,11 @@ func (p *Peer) readLoop() {
 	}
 	p.mu.Unlock()
 	p.conn.Close()
+	// The loop's work is done: release Close before running the user
+	// callback. onDown frequently calls Close during teardown; if the
+	// WaitGroup were still held here, that Close would wait on this
+	// very goroutine and both would hang forever.
+	p.wg.Done()
 	if p.onDown != nil {
 		p.onDown(readErr)
 	}

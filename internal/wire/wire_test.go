@@ -304,3 +304,39 @@ func BenchmarkCall(b *testing.B) {
 		}
 	}
 }
+
+func TestCloseFromOnDown(t *testing.T) {
+	// Regression: onDown runs on the read-loop goroutine, and session
+	// teardown calls Close from inside it (msu group.quit closes its
+	// VCR peer when the control connection dies). Close must not wait
+	// on the read loop from the read loop: that self-join used to hang
+	// the goroutine on wg.Wait forever.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	cc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var server *Peer
+	done := make(chan struct{})
+	server = NewPeerStopped(<-accepted, nil, func(error) {
+		server.Close() //nolint:errcheck // teardown of an already-dead conn
+		close(done)
+	})
+	server.Start()
+	client := NewPeer(cc, nil, nil)
+	client.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onDown calling Close deadlocked the read loop")
+	}
+}

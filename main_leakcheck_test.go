@@ -1,0 +1,12 @@
+package calliope_test
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the integration suite if any end-to-end test leaves
+// a goroutine running: every Coordinator, MSU, and client spun up by
+// a scenario must be fully shut down on teardown.
+func TestMain(m *testing.M) { leakcheck.Main(m) }
