@@ -31,9 +31,10 @@ leakcheck:
 	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/leakcheck
 
 # Failure-recovery tests under deterministic fault injection
-# (internal/faultinject; see DESIGN.md, "Failure handling").
+# (internal/faultinject; see DESIGN.md, "Failure handling"), including
+# the Coordinator crash–restart scenarios backed by internal/admindb.
 faults:
-	$(GO) test -race -timeout 120s -run 'Fault|Failover|Redispatch|Reconnect|MSUDown|Lost' . ./internal/coordinator ./internal/client ./internal/msu ./internal/faultinject
+	$(GO) test -race -timeout 120s -run 'Fault|Failover|Redispatch|Reconnect|MSUDown|Lost|Restart|Orphan|Corrupt' . ./internal/coordinator ./internal/client ./internal/msu ./internal/faultinject ./internal/admindb
 
 # One measurement per table/figure, as Go benchmarks.
 bench:

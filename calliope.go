@@ -29,6 +29,7 @@ import (
 	"net"
 	"time"
 
+	"calliope/internal/admindb"
 	"calliope/internal/blockdev"
 	"calliope/internal/client"
 	"calliope/internal/coordinator"
@@ -167,6 +168,11 @@ type ClusterConfig struct {
 	Users map[string]coordinator.Role
 	// QueueTimeout bounds queued requests (default 30s).
 	QueueTimeout time.Duration
+	// StateDir, if set, gives the Coordinator a durable administrative
+	// database (internal/admindb) in that directory, and enables
+	// Cluster.RestartCoordinator: a crash–restart of the Coordinator
+	// keeps the content catalog, replica locations and ID counters.
+	StateDir string
 	// Logger enables server logging.
 	Logger *log.Logger
 	// MSUDial supplies a per-MSU TCP dialer used for the Coordinator
@@ -193,6 +199,13 @@ type Cluster struct {
 	Coordinator *coordinator.Coordinator
 	MSUs        []*msu.MSU
 	vols        [][]*msufs.Volume
+	// store is the Coordinator's durable administrative database when
+	// ClusterConfig.StateDir was set; the Cluster owns its lifecycle.
+	store    *admindb.FileStore
+	stateDir string
+	// coordCfg is kept so RestartCoordinator can rebuild the
+	// Coordinator against the same store and address.
+	coordCfg coordinator.Config
 }
 
 // StartCluster formats in-memory disks, starts a Coordinator and the
@@ -214,20 +227,36 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Types = DefaultTypes()
 	}
 
-	coord, err := coordinator.New(coordinator.Config{
+	ccfg := coordinator.Config{
 		Addr:         cfg.Addr,
 		Types:        cfg.Types,
 		Users:        cfg.Users,
 		QueueTimeout: cfg.QueueTimeout,
 		Logger:       cfg.Logger,
-	})
+	}
+	var store *admindb.FileStore
+	if cfg.StateDir != "" {
+		var err error
+		store, err = admindb.Open(admindb.Options{Dir: cfg.StateDir, Logger: cfg.Logger})
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Store = store
+	}
+	coord, err := coordinator.New(ccfg)
 	if err != nil {
+		if store != nil {
+			store.Close() //nolint:errcheck // the New error is the one reported
+		}
 		return nil, err
 	}
 	if err := coord.Start(); err != nil {
+		if store != nil {
+			store.Close() //nolint:errcheck // the Start error is the one reported
+		}
 		return nil, err
 	}
-	cl := &Cluster{Coordinator: coord}
+	cl := &Cluster{Coordinator: coord, store: store, stateDir: cfg.StateDir, coordCfg: ccfg}
 
 	for i := 0; i < cfg.MSUs; i++ {
 		var vols []*msufs.Volume
@@ -340,6 +369,45 @@ func (c *Cluster) RestartMSU(idx int) (*msu.MSU, error) {
 	return m, nil
 }
 
+// RestartCoordinator kills the Coordinator and replaces it with a
+// fresh instance recovered from the state directory — the
+// crash–restart path. The administrative store is cut off before the
+// teardown so nothing the dying Coordinator writes on the way down
+// reaches disk (a real crash writes nothing either); the replacement
+// reopens the directory, replays snapshot + journal, and listens on
+// the same address so the existing reconnect machinery — MSU
+// re-registration with backoff, client reconnect + port replay —
+// converges on it. Active sessions and registrations drop, as in a
+// crash; the MSU→client data plane keeps flowing. Requires
+// ClusterConfig.StateDir.
+func (c *Cluster) RestartCoordinator() error {
+	if c.store == nil {
+		return fmt.Errorf("calliope: RestartCoordinator needs ClusterConfig.StateDir")
+	}
+	cfg := c.coordCfg
+	cfg.Addr = c.Coordinator.Addr() // keep the address MSUs and clients redial
+	c.store.Close()                 //nolint:errcheck // crash semantics: teardown writes are dropped
+	c.Coordinator.Close()
+	store, err := admindb.Open(admindb.Options{Dir: c.stateDir, Logger: cfg.Logger})
+	if err != nil {
+		return err
+	}
+	cfg.Store = store
+	coord, err := coordinator.New(cfg)
+	if err != nil {
+		store.Close() //nolint:errcheck // the New error is the one reported
+		return err
+	}
+	if err := coord.Start(); err != nil {
+		store.Close() //nolint:errcheck // the Start error is the one reported
+		return err
+	}
+	c.Coordinator = coord
+	c.store = store
+	c.coordCfg = cfg
+	return nil
+}
+
 // Close shuts the whole installation down.
 func (c *Cluster) Close() {
 	for _, m := range c.MSUs {
@@ -347,5 +415,8 @@ func (c *Cluster) Close() {
 	}
 	if c.Coordinator != nil {
 		c.Coordinator.Close()
+	}
+	if c.store != nil {
+		c.store.Close() //nolint:errcheck // every mutation is already durable
 	}
 }

@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	coordinator -addr 127.0.0.1:4160 [-queue-timeout 30s] [-quiet]
+//	coordinator -addr 127.0.0.1:4160 [-state /var/lib/calliope] [-queue-timeout 30s] [-quiet]
+//
+// With -state, every administrative mutation (content catalog, replica
+// locations, content types, ID counters, in-flight recordings) is
+// journaled durably to that directory before it is acknowledged, and a
+// restarted coordinator recovers from it: MSUs re-register, clients
+// reconnect, and recordings interrupted by the crash are reported
+// lost. Without -state the administrative database is memory-only, as
+// in the paper.
 package main
 
 import (
@@ -16,11 +24,13 @@ import (
 	"time"
 
 	"calliope"
+	"calliope/internal/admindb"
 	"calliope/internal/coordinator"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4160", "TCP listen address for clients and MSUs")
+	state := flag.String("state", "", "directory for the durable administrative database (empty: memory-only)")
 	queueTimeout := flag.Duration("queue-timeout", 30*time.Second, "how long queued play requests may wait")
 	quiet := flag.Bool("quiet", false, "disable operational logging")
 	flag.Parse()
@@ -29,12 +39,23 @@ func main() {
 	if !*quiet {
 		logger = log.New(os.Stderr, "coordinator: ", log.LstdFlags)
 	}
-	c, err := coordinator.New(coordinator.Config{
+	cfg := coordinator.Config{
 		Addr:         *addr,
 		Types:        calliope.DefaultTypes(),
 		QueueTimeout: *queueTimeout,
 		Logger:       logger,
-	})
+	}
+	var store *admindb.FileStore
+	if *state != "" {
+		var err error
+		store, err = admindb.Open(admindb.Options{Dir: *state, Logger: logger})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Store = store
+	}
+	c, err := coordinator.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -44,10 +65,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("coordinator listening on %s\n", c.Addr())
+	if store != nil {
+		fmt.Printf("administrative database in %s\n", *state)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
 	c.Close()
+	if store != nil {
+		store.Close() //nolint:errcheck // every mutation is already durable
+	}
 }

@@ -1,0 +1,323 @@
+// Package admindb persists the Coordinator's administrative database
+// (§2.2: content, content types, replica locations, ID counters)
+// across Coordinator crashes.
+//
+// The paper's Calliope "does not recover from Coordinator failures";
+// this package is the missing half of the fault-tolerance story. The
+// design is a classic snapshot + append-only journal:
+//
+//   - Every mutation is journaled as a length-prefixed, CRC-checked
+//     record and fsynced *before* the Coordinator acknowledges the
+//     request that caused it — the commit point is the fsync.
+//   - Startup loads the last snapshot and replays the journal on top.
+//     A crash-truncated or corrupted journal tail is tolerated: replay
+//     stops at the first damaged record, keeps every record before the
+//     damage, and truncates the file back to the last good offset.
+//   - When the journal grows past a threshold the store compacts: the
+//     full state is written as a new snapshot (atomic tmp+rename) and
+//     the journal is truncated. Journal records are idempotent, so a
+//     crash between the snapshot rename and the journal truncation
+//     merely replays already-applied records.
+//
+// What is deliberately *not* stored: sessions, display ports, queued
+// requests, and the live bandwidth/space ledgers. Sessions die with
+// their TCP connections anyway (clients reconnect and replay their
+// port registrations), and the ledgers are rebuilt from scratch as
+// MSUs re-register.
+//
+// The package is wall-clock-free (walltime analyzer): the snapshot
+// timestamp comes from the injected Options.Now.
+package admindb
+
+import (
+	"sort"
+	"time"
+
+	"calliope/internal/core"
+)
+
+// Location is one replica of a content item: the MSU holding it and
+// the disk it lives on.
+type Location struct {
+	MSU  core.MSUID `json:"msu"`
+	Disk int        `json:"disk"`
+}
+
+// ContentRecord is one persisted table-of-contents entry, including
+// every replica location and (for composite items) the children.
+type ContentRecord struct {
+	Info      core.ContentInfo `json:"info"`
+	Children  []string         `json:"children,omitempty"`
+	Locations []Location       `json:"locations,omitempty"`
+}
+
+// PendingRecording is a recording in flight: journaled when the
+// Coordinator dispatches it, settled when every component commits (or
+// the recording is lost with its MSU). A pending entry found at
+// startup is a recording the crash interrupted — the restarted
+// Coordinator reports it lost.
+type PendingRecording struct {
+	Group    uint64     `json:"group"`
+	MSU      core.MSUID `json:"msu"`
+	Contents []string   `json:"contents"`
+}
+
+// Counters are the Coordinator's ID generators. Persisting them is
+// what keeps a restarted Coordinator from re-issuing a stream, group,
+// session, or port ID that is still live somewhere in the cluster.
+type Counters struct {
+	NextSession uint64 `json:"nextSession"`
+	NextStream  uint64 `json:"nextStream"`
+	NextGroup   uint64 `json:"nextGroup"`
+	NextPort    uint64 `json:"nextPort"`
+}
+
+// State is the administrative database as loaded at startup.
+type State struct {
+	Types      []core.ContentType `json:"types,omitempty"`
+	Contents   []ContentRecord    `json:"contents,omitempty"`
+	Recordings []PendingRecording `json:"recordings,omitempty"`
+	Counters   Counters           `json:"counters"`
+	// SavedAt is the injected-clock time of the snapshot this state was
+	// loaded from (zero for a journal-only or in-memory state).
+	SavedAt time.Time `json:"savedAt,omitzero"`
+}
+
+// Store persists the administrative database. Implementations:
+// Open (file-backed snapshot + journal) and NewMem (in-memory, for
+// tests — "restart" by handing the same store to a new Coordinator).
+type Store interface {
+	// Load returns the current state: snapshot plus journal replay for
+	// the file store, the live state for the memory store. The caller
+	// owns the returned value.
+	Load() (*State, error)
+	// Apply journals the mutations, in order, and makes them durable
+	// before returning — the commit point. A crash mid-batch keeps a
+	// prefix of the batch (each record is individually CRC-framed).
+	Apply(muts ...Mutation) error
+	// Compact writes a fresh snapshot and truncates the journal.
+	Compact() error
+	// Close releases file handles. It does not compact: every applied
+	// mutation is already durable.
+	Close() error
+}
+
+// Mutation ops. Each is idempotent so a journal suffix can be
+// replayed over a snapshot that already contains it.
+const (
+	opPutType         = "put-type"
+	opPutContent      = "put-content"
+	opDeleteContent   = "delete-content"
+	opSetLocation     = "set-location"
+	opDropLocation    = "drop-location"
+	opSetCounters     = "set-counters"
+	opPutRecording    = "put-recording"
+	opDeleteRecording = "delete-recording"
+)
+
+// Mutation is one journal record. Build them with the constructor
+// functions; the zero Mutation is invalid.
+type Mutation struct {
+	Op        string            `json:"op"`
+	Type      *core.ContentType `json:"type,omitempty"`
+	Content   *ContentRecord    `json:"content,omitempty"`
+	Name      string            `json:"name,omitempty"`
+	Location  *Location         `json:"location,omitempty"`
+	MSU       core.MSUID        `json:"msuId,omitempty"`
+	Counters  *Counters         `json:"counters,omitempty"`
+	Recording *PendingRecording `json:"recording,omitempty"`
+	Group     uint64            `json:"group,omitempty"`
+}
+
+// PutType installs or replaces a content type.
+func PutType(t core.ContentType) Mutation {
+	return Mutation{Op: opPutType, Type: &t}
+}
+
+// PutContent installs or replaces a table-of-contents entry.
+func PutContent(rec ContentRecord) Mutation {
+	return Mutation{Op: opPutContent, Content: &rec}
+}
+
+// DeleteContent removes a table-of-contents entry.
+func DeleteContent(name string) Mutation {
+	return Mutation{Op: opDeleteContent, Name: name}
+}
+
+// SetLocation records one replica of a content item.
+func SetLocation(name string, loc Location) Mutation {
+	return Mutation{Op: opSetLocation, Name: name, Location: &loc}
+}
+
+// DropLocation forgets an MSU's replica of a content item.
+func DropLocation(name string, msu core.MSUID) Mutation {
+	return Mutation{Op: opDropLocation, Name: name, MSU: msu}
+}
+
+// SetCounters persists the ID generators. Replay takes the
+// element-wise maximum, so counters never move backwards.
+func SetCounters(cs Counters) Mutation {
+	return Mutation{Op: opSetCounters, Counters: &cs}
+}
+
+// PutRecording journals an in-flight recording.
+func PutRecording(r PendingRecording) Mutation {
+	return Mutation{Op: opPutRecording, Recording: &r}
+}
+
+// DeleteRecording settles an in-flight recording (committed or lost).
+func DeleteRecording(group uint64) Mutation {
+	return Mutation{Op: opDeleteRecording, Group: group}
+}
+
+// state is the mutable in-memory form both stores maintain.
+type state struct {
+	types      map[string]core.ContentType
+	contents   map[string]*ContentRecord
+	recordings map[uint64]PendingRecording
+	counters   Counters
+	savedAt    time.Time
+}
+
+func newState() *state {
+	return &state{
+		types:      make(map[string]core.ContentType),
+		contents:   make(map[string]*ContentRecord),
+		recordings: make(map[uint64]PendingRecording),
+	}
+}
+
+// fromSnapshot rebuilds the mutable maps from a loaded State.
+func fromSnapshot(snap *State) *state {
+	st := newState()
+	for _, t := range snap.Types {
+		st.types[t.Name] = t
+	}
+	for _, rec := range snap.Contents {
+		rec := cloneRecord(rec)
+		st.contents[rec.Info.Name] = &rec
+	}
+	for _, r := range snap.Recordings {
+		st.recordings[r.Group] = cloneRecording(r)
+	}
+	st.counters = snap.Counters
+	st.savedAt = snap.SavedAt
+	return st
+}
+
+// snapshot freezes the mutable state into a State (deterministic
+// order, deep copies).
+func (st *state) snapshot() *State {
+	out := &State{Counters: st.counters, SavedAt: st.savedAt}
+	names := make([]string, 0, len(st.types))
+	for n := range st.types {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		out.Types = append(out.Types, st.types[n])
+	}
+	names = names[:0]
+	for n := range st.contents {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		out.Contents = append(out.Contents, cloneRecord(*st.contents[n]))
+	}
+	groups := make([]uint64, 0, len(st.recordings))
+	for g := range st.recordings {
+		groups = append(groups, g)
+	}
+	sortUint64s(groups)
+	for _, g := range groups {
+		out.Recordings = append(out.Recordings, cloneRecording(st.recordings[g]))
+	}
+	return out
+}
+
+// apply plays one mutation into the state. Unknown ops are ignored so
+// an older binary can replay a newer journal's prefix.
+func (st *state) apply(m Mutation) {
+	switch m.Op {
+	case opPutType:
+		if m.Type != nil {
+			st.types[m.Type.Name] = *m.Type
+		}
+	case opPutContent:
+		if m.Content != nil {
+			rec := cloneRecord(*m.Content)
+			st.contents[rec.Info.Name] = &rec
+		}
+	case opDeleteContent:
+		delete(st.contents, m.Name)
+	case opSetLocation:
+		rec := st.contents[m.Name]
+		if rec == nil || m.Location == nil {
+			return
+		}
+		for i := range rec.Locations {
+			if rec.Locations[i].MSU == m.Location.MSU {
+				rec.Locations[i] = *m.Location
+				return
+			}
+		}
+		rec.Locations = append(rec.Locations, *m.Location)
+	case opDropLocation:
+		rec := st.contents[m.Name]
+		if rec == nil {
+			return
+		}
+		for i := range rec.Locations {
+			if rec.Locations[i].MSU == m.MSU {
+				rec.Locations = append(rec.Locations[:i], rec.Locations[i+1:]...)
+				return
+			}
+		}
+	case opSetCounters:
+		if m.Counters == nil {
+			return
+		}
+		st.counters = maxCounters(st.counters, *m.Counters)
+	case opPutRecording:
+		if m.Recording != nil {
+			st.recordings[m.Recording.Group] = cloneRecording(*m.Recording)
+		}
+	case opDeleteRecording:
+		delete(st.recordings, m.Group)
+	}
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func sortUint64s(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func maxCounters(a, b Counters) Counters {
+	if b.NextSession > a.NextSession {
+		a.NextSession = b.NextSession
+	}
+	if b.NextStream > a.NextStream {
+		a.NextStream = b.NextStream
+	}
+	if b.NextGroup > a.NextGroup {
+		a.NextGroup = b.NextGroup
+	}
+	if b.NextPort > a.NextPort {
+		a.NextPort = b.NextPort
+	}
+	return a
+}
+
+func cloneRecord(rec ContentRecord) ContentRecord {
+	rec.Children = append([]string(nil), rec.Children...)
+	rec.Info.Children = append([]string(nil), rec.Info.Children...)
+	rec.Locations = append([]Location(nil), rec.Locations...)
+	return rec
+}
+
+func cloneRecording(r PendingRecording) PendingRecording {
+	r.Contents = append([]string(nil), r.Contents...)
+	return r
+}

@@ -1,0 +1,270 @@
+package admindb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// File names inside the state directory.
+const (
+	snapshotFile = "snapshot.json"
+	snapshotTmp  = "snapshot.json.tmp"
+	journalFile  = "journal.log"
+)
+
+// DefaultCompactAfter is the journal record count that triggers an
+// automatic snapshot + journal truncation.
+const DefaultCompactAfter = 4096
+
+// Options configures a file-backed store.
+type Options struct {
+	// Dir is the state directory; created if missing.
+	Dir string
+	// Now supplies the clock for snapshot timestamps; nil means
+	// time.Now. Injected so the package stays deterministic (walltime
+	// analyzer).
+	Now func() time.Time
+	// CompactAfter is the number of journal records after which Apply
+	// compacts automatically. Zero means DefaultCompactAfter; negative
+	// disables auto-compaction (Compact can still be called).
+	CompactAfter int
+	// Logger receives recovery notices (truncated-tail repair); nil
+	// disables logging.
+	Logger *log.Logger
+}
+
+// FileStore is the durable snapshot + journal store. Safe for
+// concurrent use.
+type FileStore struct {
+	opts Options
+
+	mu      sync.Mutex
+	journal *os.File
+	st      *state
+	// records counts journal records since the last snapshot, for
+	// auto-compaction.
+	records int
+	closed  bool
+}
+
+// Open opens (creating if needed) the state directory, loads the
+// snapshot, replays the journal, and repairs a damaged journal tail
+// by truncating it back to the last intact record.
+func Open(opts Options) (*FileStore, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("admindb: Options.Dir is required")
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.CompactAfter == 0 {
+		opts.CompactAfter = DefaultCompactAfter
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("admindb: creating state dir: %w", err)
+	}
+	store := &FileStore{opts: opts}
+
+	st := newState()
+	snapPath := filepath.Join(opts.Dir, snapshotFile)
+	raw, err := os.ReadFile(snapPath)
+	switch {
+	case err == nil:
+		var snap State
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("admindb: snapshot %s is corrupt: %w", snapPath, err)
+		}
+		st = fromSnapshot(&snap)
+	case errors.Is(err, fs.ErrNotExist):
+		// First boot, or the snapshot was lost: the journal alone must
+		// carry the state.
+	default:
+		return nil, fmt.Errorf("admindb: reading snapshot: %w", err)
+	}
+
+	jPath := filepath.Join(opts.Dir, journalFile)
+	j, err := os.OpenFile(jPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("admindb: opening journal: %w", err)
+	}
+	data, err := os.ReadFile(jPath)
+	if err != nil {
+		j.Close() //nolint:errcheck // the read error is the one reported
+		return nil, fmt.Errorf("admindb: reading journal: %w", err)
+	}
+	good, records := replayJournal(data, st)
+	if good < int64(len(data)) {
+		// Crash-truncated or corrupted tail: cut it off so appends land
+		// after the last committed record.
+		store.logf("journal tail damaged: keeping %d records (%d bytes), discarding %d bytes",
+			records, good, int64(len(data))-good)
+		if err := j.Truncate(good); err != nil {
+			j.Close() //nolint:errcheck // the truncate error is the one reported
+			return nil, fmt.Errorf("admindb: repairing journal tail: %w", err)
+		}
+		if err := j.Sync(); err != nil {
+			j.Close() //nolint:errcheck // the sync error is the one reported
+			return nil, fmt.Errorf("admindb: repairing journal tail: %w", err)
+		}
+	}
+	if _, err := j.Seek(0, 2); err != nil {
+		j.Close() //nolint:errcheck // the seek error is the one reported
+		return nil, fmt.Errorf("admindb: seeking journal end: %w", err)
+	}
+	store.journal = j
+	store.st = st
+	store.records = records
+	if err := syncDir(opts.Dir); err != nil {
+		j.Close() //nolint:errcheck // the dir-sync error is the one reported
+		return nil, err
+	}
+	return store, nil
+}
+
+func (s *FileStore) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf("admindb: "+format, args...)
+	}
+}
+
+// Load returns the state as of the last Open/Apply. The caller owns
+// the copy.
+func (s *FileStore) Load() (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("admindb: store closed")
+	}
+	return s.st.snapshot(), nil
+}
+
+// Apply journals the mutations and fsyncs — the commit point. The
+// in-memory state is updated only after the records are durable.
+func (s *FileStore) Apply(muts ...Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("admindb: store closed")
+	}
+	var buf []byte
+	var err error
+	for _, m := range muts {
+		if buf, err = appendFrame(buf, m); err != nil {
+			return err
+		}
+	}
+	if _, err := s.journal.Write(buf); err != nil {
+		return fmt.Errorf("admindb: appending journal: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("admindb: committing journal: %w", err)
+	}
+	for _, m := range muts {
+		s.st.apply(m)
+	}
+	s.records += len(muts)
+	if s.opts.CompactAfter > 0 && s.records >= s.opts.CompactAfter {
+		if err := s.compactLocked(); err != nil {
+			// The journal is intact and durable; compaction can retry on
+			// a later Apply.
+			s.logf("auto-compaction failed (will retry): %v", err)
+		}
+	}
+	return nil
+}
+
+// Compact writes the full state as a fresh snapshot and truncates the
+// journal.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("admindb: store closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *FileStore) compactLocked() error {
+	s.st.savedAt = s.opts.Now()
+	snap := s.st.snapshot()
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("admindb: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.opts.Dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("admindb: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close() //nolint:errcheck // the write error is the one reported
+		return fmt.Errorf("admindb: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck // the sync error is the one reported
+		return fmt.Errorf("admindb: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("admindb: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotFile)); err != nil {
+		return fmt.Errorf("admindb: installing snapshot: %w", err)
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	// The snapshot now covers every journaled record. Journal records
+	// are idempotent, so a crash right here — snapshot installed,
+	// journal not yet truncated — only replays what the snapshot
+	// already contains.
+	if err := s.journal.Truncate(0); err != nil {
+		return fmt.Errorf("admindb: truncating journal: %w", err)
+	}
+	if _, err := s.journal.Seek(0, 0); err != nil {
+		return fmt.Errorf("admindb: rewinding journal: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("admindb: syncing truncated journal: %w", err)
+	}
+	s.records = 0
+	return nil
+}
+
+// Close releases the journal handle. Every applied mutation is
+// already durable; Close writes nothing.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.journal.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("admindb: opening state dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("admindb: syncing state dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package admindb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemStore is an in-memory Store for tests. It has the same commit
+// semantics as FileStore minus the disk: a "restart" is simulated by
+// handing the same MemStore to a freshly constructed Coordinator.
+type MemStore struct {
+	mu     sync.Mutex
+	st     *state
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{st: newState()}
+}
+
+// Load returns a deep copy of the current state.
+func (s *MemStore) Load() (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("admindb: store closed")
+	}
+	return s.st.snapshot(), nil
+}
+
+// Apply plays the mutations into the in-memory state.
+func (s *MemStore) Apply(muts ...Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("admindb: store closed")
+	}
+	for _, m := range muts {
+		s.st.apply(m)
+	}
+	return nil
+}
+
+// Compact is a no-op: there is no journal to truncate.
+func (s *MemStore) Compact() error { return nil }
+
+// Close marks the store closed. The state is kept so a test can
+// reopen it with Reopen after simulating a crash.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Reopen clears the closed flag so the store can serve a restarted
+// Coordinator in tests.
+func (s *MemStore) Reopen() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = false
+}

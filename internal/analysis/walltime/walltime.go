@@ -39,6 +39,7 @@ var DeterministicPkgs = []string{
 	"internal/schedule",    // §2.2: admission arithmetic must be time-free
 	"internal/coordinator", // §2.2: scheduling decisions use the injected clock
 	"internal/faultinject", // fault timing must come from the injected After hook
+	"internal/admindb",     // snapshot timestamps come from the injected Options.Now
 }
 
 //go:embed allowlist.txt

@@ -7,9 +7,17 @@
 // requests onto MSUs by disk bandwidth and disk space. Requests that
 // cannot be satisfied may queue until resources free up. MSU failures
 // are detected by broken TCP connections; a returning MSU re-registers
-// and is restored to the scheduling database. The Coordinator itself
-// is not fault tolerant — the paper's Calliope "does not recover from
-// Coordinator failures", and neither does ours.
+// and is restored to the scheduling database.
+//
+// The paper's Calliope "does not recover from Coordinator failures";
+// ours does, when Config.Store is set: every administrative mutation
+// (content, replica locations, content types, ID counters, in-flight
+// recordings) is journaled durably before the request is acknowledged
+// (internal/admindb), and a restarted Coordinator reloads that state,
+// lets MSUs re-register and clients reconnect, and reports recordings
+// the crash interrupted. Sessions, ports, queued requests and the live
+// bandwidth/space ledgers are deliberately not persisted — they are
+// rebuilt by the reconnect and re-registration traffic.
 //
 // One TCP listener serves both clients and MSUs; the first message on
 // a connection (hello vs msu-hello) decides the role.
@@ -24,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"calliope/internal/admindb"
 	"calliope/internal/core"
 	"calliope/internal/schedule"
 	"calliope/internal/trace"
@@ -64,6 +73,12 @@ type Config struct {
 	// fault-injection tests pass an injector-wrapped listener here
 	// (internal/faultinject).
 	Listen func(network, address string) (net.Listener, error)
+	// Store persists the administrative database across Coordinator
+	// restarts (admindb.Open for a file-backed store, admindb.NewMem for
+	// tests). Nil means in-memory only — a restart forgets everything,
+	// as in the paper. The Coordinator does not close the store; its
+	// owner does, after the Coordinator shuts down.
+	Store admindb.Store
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -85,6 +100,14 @@ type Coordinator struct {
 	// redispatching marks orphaned groups that already have a recovery
 	// goroutine; a cascading MSU failure must not spawn a second one.
 	redispatching map[uint64]bool
+	// recPending mirrors the store's in-flight recording entries: group
+	// → component content names not yet committed. An entry settles
+	// (DeleteRecording is journaled) when every component commits, when
+	// the group's last record stream ends, or when its MSU dies.
+	recPending map[uint64]map[string]bool
+	// lostRecordings counts in-flight recordings a Coordinator crash
+	// interrupted, discovered in the store at startup.
+	lostRecordings int
 
 	nextSession core.SessionID
 	nextStream  core.StreamID
@@ -233,6 +256,7 @@ func New(cfg Config) (*Coordinator, error) {
 		active:        make(map[core.StreamID]*activeStream),
 		pending:       make(map[uint64]*pendingComposite),
 		redispatching: make(map[uint64]bool),
+		recPending:    make(map[uint64]map[string]bool),
 		release:       make(chan struct{}),
 	}
 	for _, t := range cfg.Types {
@@ -242,7 +266,113 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		c.types[t.Name] = t
 	}
+	if cfg.Store != nil {
+		if err := c.restore(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// restore reloads the administrative database from the store: the
+// table of contents with replica locations, the content-type table
+// (persisted types overlay the Config seed), and the ID counters —
+// so a restarted Coordinator never re-issues a session, stream, group
+// or port ID that may still be live in the cluster. In-flight
+// recordings found in the store were interrupted by the crash; they
+// are reported lost and settled. Runs before Start, so no locking.
+func (c *Coordinator) restore() error {
+	st, err := c.cfg.Store.Load()
+	if err != nil {
+		return fmt.Errorf("coordinator: loading administrative database: %w", err)
+	}
+	for _, t := range st.Types {
+		c.types[t.Name] = t
+	}
+	for _, r := range st.Contents {
+		rec := &contentRec{info: r.Info, children: r.Children}
+		if rec.children == nil {
+			rec.children = r.Info.Children
+		}
+		for _, loc := range r.Locations {
+			d := core.DiskID{MSU: loc.MSU, N: loc.Disk}
+			if rec.locations == nil {
+				rec.locations = make(map[core.MSUID]core.DiskID)
+			}
+			rec.locations[d.MSU] = d
+		}
+		// Normalize the primary: the journal's location records do not
+		// track primary repoints, so re-derive it from the location set.
+		if len(rec.locations) > 0 {
+			if d, ok := rec.locations[rec.info.Disk.MSU]; ok {
+				rec.info.Disk = d
+			} else {
+				var ids []core.MSUID
+				for m := range rec.locations {
+					ids = append(ids, m)
+				}
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+				rec.info.Disk = rec.locations[ids[0]]
+			}
+		}
+		c.contents[r.Info.Name] = rec
+	}
+	c.nextSession = core.SessionID(st.Counters.NextSession)
+	c.nextStream = core.StreamID(st.Counters.NextStream)
+	c.nextGroup = st.Counters.NextGroup
+	c.nextPort = core.PortID(st.Counters.NextPort)
+	var settle []admindb.Mutation
+	for _, r := range st.Recordings {
+		c.lostRecordings++
+		c.logf("recording group %d (%v on MSU %q) lost in Coordinator restart", r.Group, r.Contents, r.MSU)
+		settle = append(settle, admindb.DeleteRecording(r.Group))
+	}
+	if len(settle) > 0 {
+		if err := c.cfg.Store.Apply(settle...); err != nil {
+			return fmt.Errorf("coordinator: settling lost recordings: %w", err)
+		}
+	}
+	return nil
+}
+
+// persistLocked journals muts durably before the caller acknowledges
+// the request that caused them — the commit point of every
+// administrative mutation. No-op without a store. Callers hold c.mu.
+func (c *Coordinator) persistLocked(muts ...admindb.Mutation) error {
+	if c.cfg.Store == nil || len(muts) == 0 {
+		return nil
+	}
+	if err := c.cfg.Store.Apply(muts...); err != nil {
+		c.logf("admindb: %v", err)
+		return fmt.Errorf("coordinator: persisting administrative state: %w", err)
+	}
+	return nil
+}
+
+// countersLocked snapshots the ID generators as a journal mutation.
+// Replay takes the element-wise max, so a stale record can never move
+// a counter backwards. Callers hold c.mu.
+func (c *Coordinator) countersLocked() admindb.Mutation {
+	return admindb.SetCounters(admindb.Counters{
+		NextSession: uint64(c.nextSession),
+		NextStream:  uint64(c.nextStream),
+		NextGroup:   c.nextGroup,
+		NextPort:    uint64(c.nextPort),
+	})
+}
+
+// contentMutation freezes a contentRec into its journal form.
+func contentMutation(rec *contentRec) admindb.Mutation {
+	out := admindb.ContentRecord{Info: rec.info, Children: rec.children}
+	var ids []core.MSUID
+	for id := range rec.locations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		out.Locations = append(out.Locations, admindb.Location{MSU: id, Disk: rec.locations[id].N})
+	}
+	return admindb.PutContent(out)
 }
 
 // Start begins listening and serving.
@@ -471,6 +601,9 @@ func (ctx *connCtx) hello(req wire.Hello) (*wire.Welcome, error) {
 		}
 	}
 	c.nextSession++
+	if err := c.persistLocked(c.countersLocked()); err != nil {
+		return nil, err
+	}
 	s := &session{
 		id:    c.nextSession,
 		user:  req.User,
@@ -544,11 +677,12 @@ func (c *Coordinator) status() *wire.Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := &wire.Status{
-		MSUs:          len(c.msus),
-		ActiveStreams: len(c.active),
-		Contents:      len(c.contents),
-		Sessions:      len(c.sessions),
-		Requests:      c.requests,
+		MSUs:           len(c.msus),
+		ActiveStreams:  len(c.active),
+		Contents:       len(c.contents),
+		Sessions:       len(c.sessions),
+		LostRecordings: c.lostRecordings,
+		Requests:       c.requests,
 	}
 	for _, m := range c.msus {
 		if m.alive {
@@ -629,6 +763,9 @@ func (c *Coordinator) addType(t core.ContentType) error {
 			return fmt.Errorf("%w: component type %q", core.ErrNoSuchType, comp)
 		}
 	}
+	if err := c.persistLocked(admindb.PutType(t)); err != nil {
+		return err
+	}
 	c.types[t.Name] = t
 	return nil
 }
@@ -684,6 +821,16 @@ func (c *Coordinator) deleteContent(name string) error {
 		}
 	}
 	c.mu.Lock()
+	var muts []admindb.Mutation
+	for _, t := range targets {
+		muts = append(muts, admindb.DeleteContent(t.name))
+	}
+	if err := c.persistLocked(muts...); err != nil {
+		// The MSUs already unlinked the files; the catalog entries stay
+		// until the next msuHello stale sweep reconciles them.
+		c.mu.Unlock()
+		return err
+	}
 	for _, t := range targets {
 		// Return the replica's disk space to the free pool.
 		d := c.diskState(t.disk)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"calliope/internal/admindb"
 	"calliope/internal/core"
 	"calliope/internal/schedule"
 	"calliope/internal/units"
@@ -50,6 +51,7 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 	}
 	m = &msuState{id: req.ID, peer: ctx.peer, alive: true}
 	declared := make(map[string]bool)
+	var muts []admindb.Mutation
 	for i, di := range req.Disks {
 		if di.BlockSize <= 0 || di.TotalBlocks <= 0 {
 			return nil, fmt.Errorf("%w: disk %d geometry", core.ErrBadRequest, i)
@@ -75,7 +77,8 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 		for _, decl := range di.Contents {
 			declared[decl.Name] = true
 			rec := c.contents[decl.Name]
-			if rec == nil {
+			fresh := rec == nil
+			if fresh {
 				rec = &contentRec{info: core.ContentInfo{
 					Name:    decl.Name,
 					Type:    decl.Type,
@@ -86,6 +89,11 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 				c.contents[decl.Name] = rec
 			}
 			rec.setLocation(core.DiskID{MSU: req.ID, N: i})
+			if fresh {
+				muts = append(muts, contentMutation(rec))
+			} else {
+				muts = append(muts, admindb.SetLocation(decl.Name, admindb.Location{MSU: req.ID, Disk: i}))
+			}
 		}
 	}
 	// The NIC delivery budget: advertised, or defaulting to the sum of
@@ -114,11 +122,20 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 			continue
 		}
 		if _, held := rec.locations[req.ID]; held && !declared[name] {
-			if !rec.dropLocation(req.ID) {
+			if rec.dropLocation(req.ID) {
+				muts = append(muts, admindb.DropLocation(name, req.ID))
+			} else {
 				delete(c.contents, name)
+				muts = append(muts, admindb.DeleteContent(name))
 				c.logf("content %q dropped: MSU %q no longer declares it", name, req.ID)
 			}
 		}
+	}
+	// The merged catalog must be durable before the MSU is told it is
+	// registered; a re-registration after a Coordinator restart is what
+	// reconciles the journal against reality.
+	if err := c.persistLocked(muts...); err != nil {
+		return nil, err
 	}
 	c.msus[req.ID] = m
 	ctx.mu.Lock()
@@ -192,6 +209,7 @@ func (c *Coordinator) msuDown(m *msuState) {
 	}
 	c.logf("MSU %q down (%d stream groups orphaned)", m.id, len(groups))
 	var lost, moved []*failedGroup
+	var settle []admindb.Mutation
 	for _, g := range groups {
 		// Deterministic StartStream order on the replacement MSU.
 		sort.Slice(g.streams, func(i, j int) bool { return g.streams[i].id < g.streams[j].id })
@@ -199,10 +217,15 @@ func (c *Coordinator) msuDown(m *msuState) {
 			// A recording's data lives only on the failed MSU; there is
 			// nothing to migrate to.
 			lost = append(lost, g)
+			if _, ok := c.recPending[g.id]; ok {
+				delete(c.recPending, g.id)
+				settle = append(settle, admindb.DeleteRecording(g.id))
+			}
 		} else {
 			moved = append(moved, g)
 		}
 	}
+	c.persistLocked(settle...) //nolint:errcheck // logged inside; an unsettled entry is re-reported lost after the next restart
 	if !c.closed {
 		// A group may already be mid-recovery: its redispatcher placed it
 		// on this MSU and the start-stream RPC was in flight when the MSU
@@ -499,8 +522,28 @@ func (c *Coordinator) streamEnded(req wire.StreamEnded) {
 	}
 	c.releaseStreamLocked(a)
 	delete(c.active, req.Stream)
+	if a.record {
+		c.settleRecordGroupLocked(a.group)
+	}
 	c.logf("stream %d ended (%s)", req.Stream, req.Cause)
 	c.signalRelease()
+}
+
+// settleRecordGroupLocked journals the end of an in-flight recording
+// once its last record stream is gone — covering components that
+// ended without committing (empty recordings never send
+// recording-done). Callers hold c.mu.
+func (c *Coordinator) settleRecordGroupLocked(group uint64) {
+	if _, ok := c.recPending[group]; !ok {
+		return
+	}
+	for _, a := range c.active {
+		if a.group == group {
+			return // a component stream is still running
+		}
+	}
+	delete(c.recPending, group)
+	c.persistLocked(admindb.DeleteRecording(group)) //nolint:errcheck // logged inside; an unsettled entry is re-reported lost after the next restart
 }
 
 // recordingDone commits a recording: the content enters the table of
@@ -518,7 +561,10 @@ func (ctx *connCtx) recordingDone(req wire.RecordingDone) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	a, ok := c.active[req.Stream]
-	if !ok || a.msu != m.id {
+	if !ok {
+		return c.orphanRecordingLocked(m, req)
+	}
+	if a.msu != m.id {
 		return fmt.Errorf("%w: stream %d", core.ErrNoSuchStream, req.Stream)
 	}
 	d := c.diskState(core.DiskID{MSU: m.id, N: req.Disk})
@@ -539,6 +585,7 @@ func (ctx *connCtx) recordingDone(req wire.RecordingDone) error {
 	}}
 	rec.setLocation(core.DiskID{MSU: m.id, N: req.Disk})
 	c.contents[req.Content] = rec
+	muts := []admindb.Mutation{contentMutation(rec)}
 	// Composite recording: once every component has committed, publish
 	// the parent item.
 	if pc, ok := c.pending[a.group]; ok && pc.waiting[req.Content] {
@@ -565,10 +612,64 @@ func (ctx *connCtx) recordingDone(req wire.RecordingDone) error {
 			}
 			parent.setLocation(pc.disk)
 			c.contents[pc.parent] = parent
+			muts = append(muts, contentMutation(parent))
 			c.logf("composite %q assembled from %v", pc.parent, pc.done)
 		}
 	}
+	// Once every component has committed, the recording is no longer
+	// in flight: a crash after this journal batch must not report it
+	// lost.
+	if pend, ok := c.recPending[a.group]; ok {
+		delete(pend, req.Content)
+		if len(pend) == 0 {
+			delete(c.recPending, a.group)
+			muts = append(muts, admindb.DeleteRecording(a.group))
+		}
+	}
+	if err := c.persistLocked(muts...); err != nil {
+		return err
+	}
 	c.logf("recording %q committed: %v, %v", req.Content, req.Length, req.Size)
+	c.signalRelease()
+	return nil
+}
+
+// orphanRecordingLocked admits a recording-done for a stream this
+// Coordinator never dispatched: the MSU recorded across a Coordinator
+// restart and is now committing. The file on the MSU's disk is ground
+// truth, so the content enters the table of contents rather than
+// being stranded invisible until the MSU's next re-registration. The
+// restart already reported the recording lost-in-flight; a commit
+// arriving afterwards supersedes that. Callers hold c.mu.
+func (c *Coordinator) orphanRecordingLocked(m *msuState, req wire.RecordingDone) error {
+	if c.msus[m.id] != m || !m.alive {
+		return fmt.Errorf("%w: stream %d", core.ErrNoSuchStream, req.Stream)
+	}
+	d := c.diskState(core.DiskID{MSU: m.id, N: req.Disk})
+	if d == nil {
+		return fmt.Errorf("%w: disk %d", core.ErrBadRequest, req.Disk)
+	}
+	if _, exists := c.contents[req.Content]; exists {
+		return fmt.Errorf("%w: content %q", core.ErrDuplicateName, req.Content)
+	}
+	rec := &contentRec{info: core.ContentInfo{
+		Name:   req.Content,
+		Type:   req.Type,
+		Length: req.Length,
+		Size:   req.Size,
+	}}
+	rec.setLocation(core.DiskID{MSU: m.id, N: req.Disk})
+	if err := c.persistLocked(contentMutation(rec)); err != nil {
+		return err
+	}
+	// Count the file against disk space. The MSU registered mid-write,
+	// so blocks it had already allocated are in its declared standing
+	// reservation too — a conservative double count that the next
+	// re-registration's fresh ledgers correct.
+	blocks := (int64(req.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
+	d.space.AddStanding(blocks) //nolint:errcheck
+	c.contents[req.Content] = rec
+	c.logf("recording %q committed by MSU %q across a restart (stream %d unknown)", req.Content, m.id, req.Stream)
 	c.signalRelease()
 	return nil
 }
@@ -609,6 +710,9 @@ func (ctx *connCtx) registerPort(req wire.RegisterPort) (*wire.PortOK, error) {
 		return nil, fmt.Errorf("%w: atomic port needs a data address", core.ErrBadRequest)
 	}
 	c.nextPort++
+	if err := c.persistLocked(c.countersLocked()); err != nil {
+		return nil, err
+	}
 	s.ports[req.Name] = &core.DisplayPort{
 		ID:         c.nextPort,
 		Session:    s.id,
@@ -809,6 +913,14 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 			spec: spec, diskReserved: diskReserved,
 		}
 	}
+	// The issued group/stream IDs must be durable before any of them
+	// leaves this process: a Coordinator that restarts mid-play must
+	// never re-issue an ID the MSU or client may still be using.
+	if err := c.persistLocked(c.countersLocked()); err != nil {
+		rollback()
+		c.mu.Unlock()
+		return nil, false, err
+	}
 	peer := m.peer
 	c.mu.Unlock()
 
@@ -988,14 +1100,12 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 	c.nextGroup++
 	group := c.nextGroup
 	var planned []core.StreamSpec
-	var reservedBlocks []int64
 	rollback := func() {
-		for i, spec := range planned {
+		for _, spec := range planned {
 			d := chosen.disks[spec.Disk]
 			d.bw.Release(uint64(spec.Stream))    //nolint:errcheck
 			d.space.Release(uint64(spec.Stream)) //nolint:errcheck
 			delete(c.active, spec.Stream)
-			_ = i
 		}
 	}
 	for pi, p := range parts {
@@ -1040,13 +1150,29 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 			Reserved:  units.ByteSize(blocks * int64(d.blockSize)),
 		}
 		planned = append(planned, spec)
-		reservedBlocks = append(reservedBlocks, blocks)
 		c.active[id] = &activeStream{
 			id: id, group: group, msu: chosen.id, disk: placement[pi],
 			session: s.id, content: p.name, typ: p.typ, record: true,
 			spaceReserved: blocks, spec: spec, diskReserved: true,
 		}
 	}
+	// Journal the recording as in flight — plus the issued IDs — before
+	// any StartStream leaves this process. A Coordinator that crashes
+	// from here until the last component commits will find the entry at
+	// restart and report the recording lost.
+	names := make([]string, 0, len(parts))
+	waiting := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		names = append(names, p.name)
+		waiting[p.name] = true
+	}
+	if err := c.persistLocked(c.countersLocked(),
+		admindb.PutRecording(admindb.PendingRecording{Group: group, MSU: chosen.id, Contents: names})); err != nil {
+		rollback()
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	c.recPending[group] = waiting
 	peer := chosen.peer
 	c.mu.Unlock()
 
@@ -1071,19 +1197,20 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 		}
 		c.mu.Lock()
 		rollback()
+		delete(c.recPending, group)
+		c.persistLocked(admindb.DeleteRecording(group)) //nolint:errcheck // logged inside; an unsettled entry is re-reported lost after the next restart
 		c.mu.Unlock()
 		return nil, false, fmt.Errorf("coordinator: starting recording on %q: %w", chosen.id, callErr)
 	}
 	if t.Composite() {
-		waiting := make(map[string]bool, len(parts))
+		compWaiting := make(map[string]bool, len(parts))
 		for _, p := range parts {
-			waiting[p.name] = true
+			compWaiting[p.name] = true
 		}
 		c.mu.Lock()
-		c.pending[group] = &pendingComposite{parent: req.Content, typ: req.Type, waiting: waiting}
+		c.pending[group] = &pendingComposite{parent: req.Content, typ: req.Type, waiting: compWaiting}
 		c.mu.Unlock()
 	}
-	_ = reservedBlocks
 	return out, false, nil
 }
 

@@ -42,24 +42,18 @@ func (r *Recorder) PercentWithin(d time.Duration) float64 {
 	if len(r.lateness) == 0 {
 		return 0
 	}
-	n := 0
-	for _, l := range r.lateness {
-		if l <= d {
-			n++
-		}
-	}
-	return 100 * float64(n) / float64(len(r.lateness))
+	sorted := r.sortedLateness()
+	n := sort.Search(len(sorted), func(i int) bool { return sorted[i] > d })
+	return 100 * float64(n) / float64(len(sorted))
 }
 
 // MaxLateness reports the worst observed lateness.
 func (r *Recorder) MaxLateness() time.Duration {
-	var max time.Duration
-	for _, l := range r.lateness {
-		if l > max {
-			max = l
-		}
+	if len(r.lateness) == 0 {
+		return 0
 	}
-	return max
+	sorted := r.sortedLateness()
+	return sorted[len(sorted)-1]
 }
 
 // Mean reports the average lateness.
@@ -110,14 +104,10 @@ func (r *Recorder) CDF(maxMs int) []float64 {
 		return out
 	}
 	counts := make([]int, maxMs+1)
-	beyond := 0
 	for _, l := range r.lateness {
-		ms := int(l / time.Millisecond)
-		if ms > maxMs {
-			beyond++
-			continue
+		if ms := int(l / time.Millisecond); ms <= maxMs {
+			counts[ms]++
 		}
-		counts[ms]++
 	}
 	cum := 0
 	total := float64(len(r.lateness))
@@ -125,8 +115,17 @@ func (r *Recorder) CDF(maxMs int) []float64 {
 		cum += counts[i]
 		out[i] = 100 * float64(cum) / total
 	}
-	_ = beyond
 	return out
+}
+
+// Beyond reports how many packets were delivered more than maxMs
+// milliseconds late — the tail a CDF(maxMs) plot leaves off the right
+// edge (its last bin tops out below 100% by exactly these packets).
+func (r *Recorder) Beyond(maxMs int) int {
+	sorted := r.sortedLateness()
+	return len(sorted) - sort.Search(len(sorted), func(i int) bool {
+		return int(sorted[i]/time.Millisecond) > maxMs
+	})
 }
 
 // Series is one labelled CDF curve, e.g. "22 1.5 Mbit/s streams".

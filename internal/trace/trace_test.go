@@ -122,6 +122,53 @@ func TestPercentileCacheInvalidation(t *testing.T) {
 	}
 }
 
+// TestBeyond pins the tail count a CDF(maxMs) plot leaves off the
+// right edge, matching CDF's millisecond binning exactly.
+func TestBeyond(t *testing.T) {
+	var r Recorder
+	// Lateness: 0, 5ms, 10.4ms (bin 10), 11ms, 500ms.
+	for _, late := range []time.Duration{0, 5 * time.Millisecond, 10400 * time.Microsecond, 11 * time.Millisecond, 500 * time.Millisecond} {
+		r.Record(0, late)
+	}
+	if got := r.Beyond(10); got != 2 {
+		t.Errorf("Beyond(10) = %d, want 2 (11ms and 500ms)", got)
+	}
+	if got := r.Beyond(500); got != 0 {
+		t.Errorf("Beyond(500) = %d, want 0", got)
+	}
+	// Beyond accounts for every packet the CDF's last bin does not.
+	cdf := r.CDF(10)
+	counted := cdf[10] / 100 * float64(r.Count())
+	if int(counted+0.5)+r.Beyond(10) != r.Count() {
+		t.Errorf("CDF(10) end %.1f%% + Beyond(10) %d ≠ Count %d", cdf[10], r.Beyond(10), r.Count())
+	}
+	var empty Recorder
+	if empty.Beyond(10) != 0 {
+		t.Error("empty recorder should report zero Beyond")
+	}
+}
+
+// TestPercentWithinCacheInvalidation: PercentWithin and MaxLateness
+// ride the sorted cache; a Record between reads must invalidate it.
+func TestPercentWithinCacheInvalidation(t *testing.T) {
+	var r Recorder
+	r.Record(0, 30*time.Millisecond)
+	r.Record(0, 10*time.Millisecond)
+	if got := r.PercentWithin(10 * time.Millisecond); got != 50 {
+		t.Fatalf("PercentWithin(10ms) = %v, want 50", got)
+	}
+	if got := r.MaxLateness(); got != 30*time.Millisecond {
+		t.Fatalf("MaxLateness = %v, want 30ms", got)
+	}
+	r.Record(0, 100*time.Millisecond)
+	if got := r.PercentWithin(10 * time.Millisecond); got < 33.3 || got > 33.4 {
+		t.Fatalf("PercentWithin(10ms) after Record = %v, want ~33.3", got)
+	}
+	if got := r.MaxLateness(); got != 100*time.Millisecond {
+		t.Fatalf("MaxLateness after Record = %v, want 100ms", got)
+	}
+}
+
 // Property: the CDF is monotone non-decreasing and bounded by 100, and
 // PercentWithin agrees with the binned CDF at bin boundaries.
 func TestCDFMonotoneProperty(t *testing.T) {

@@ -155,15 +155,19 @@ type AddType struct {
 // Status reports Coordinator load, used by the scalability experiment
 // and operator tooling.
 type Status struct {
-	MSUs          int         `json:"msus"`
-	MSUsAvailable int         `json:"msusAvailable"`
-	ActiveStreams int         `json:"activeStreams"`
-	QueuedPlays   int         `json:"queuedPlays"`
-	Contents      int         `json:"contents"`
-	Sessions      int         `json:"sessions"`
-	Requests      int64       `json:"requests"`
-	Disks         []DiskUsage `json:"disks,omitempty"`
-	Net           []NetUsage  `json:"net,omitempty"`
+	MSUs          int `json:"msus"`
+	MSUsAvailable int `json:"msusAvailable"`
+	ActiveStreams int `json:"activeStreams"`
+	QueuedPlays   int `json:"queuedPlays"`
+	Contents      int `json:"contents"`
+	Sessions      int `json:"sessions"`
+	// LostRecordings counts recordings that were in flight when the
+	// Coordinator last crashed: a restarted Coordinator finds them in
+	// its durable administrative database and reports them lost.
+	LostRecordings int         `json:"lostRecordings,omitempty"`
+	Requests       int64       `json:"requests"`
+	Disks          []DiskUsage `json:"disks,omitempty"`
+	Net            []NetUsage  `json:"net,omitempty"`
 }
 
 // NetUsage is one MSU's network-bandwidth scheduling state: cached and
