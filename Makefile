@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race faults leakcheck bench bench-smoke bench-path bench-cache repro examples clean
+.PHONY: all build vet lint test race faults leakcheck bench bench-smoke bench-path bench-cache bench-iosched repro examples clean
 
 all: build vet lint test
 
@@ -28,7 +28,7 @@ race:
 # reporting: every TestMain runs internal/leakcheck, and the tag makes
 # clean packages print their final goroutine count too.
 leakcheck:
-	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/leakcheck
+	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/iosched ./internal/leakcheck
 
 # Failure-recovery tests under deterministic fault injection
 # (internal/faultinject; see DESIGN.md, "Failure handling"), including
@@ -56,6 +56,12 @@ bench-path:
 # eviction/concurrency benches.
 bench-cache:
 	$(GO) test -run='HotReplay' -bench='HotReplay|Cache' -benchmem ./internal/msu ./internal/cache
+
+# The §2.2.1/§2.3.3 live-path I/O scheduler: C-SCAN rounds vs the
+# DirectIO ablation on a mechanically-modelled Sim volume, 24 readers
+# (short benchtime smoke; CI runs this on every push).
+bench-iosched:
+	$(GO) test -run=NONE -bench='IOSched' -benchtime=2x -benchmem ./internal/msu
 
 # Regenerate every table and figure in the paper's layout.
 repro:

@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	calliope-bench [-dur 2m] [table1|graph1|graph2|hbastall|mempath|scale|elevator|ibtree|jitter|striping|all]
+//	calliope-bench [-dur 2m] [-json out.json] [table1|graph1|graph2|hbastall|mempath|scale|elevator|ibtree|jitter|striping|iosched|delivery|all]...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"calliope/internal/fakemsu"
 	"calliope/internal/ibtree"
 	"calliope/internal/media"
+	"calliope/internal/msu"
 	"calliope/internal/simhw"
 	"calliope/internal/simmsu"
 	"calliope/internal/trace"
@@ -28,9 +30,15 @@ import (
 )
 
 var (
-	simDur = flag.Duration("dur", 2*time.Minute, "simulated duration per throughput experiment (the paper ran 6m)")
-	csvOut = flag.Bool("csv", false, "for graph1/graph2: emit the full 1 ms-bin CDF as CSV for plotting")
+	simDur   = flag.Duration("dur", 2*time.Minute, "simulated duration per throughput experiment (the paper ran 6m)")
+	csvOut   = flag.Bool("csv", false, "for graph1/graph2: emit the full 1 ms-bin CDF as CSV for plotting")
+	jsonOut  = flag.String("json", "", "write machine-readable results for the experiments that produce them (iosched, delivery) to this path")
+	sessions = flag.Int("sessions", 3, "for iosched/delivery: measured sessions per variant")
 )
+
+// jsonResults collects the machine-readable entries experiments append;
+// main writes them to -json at exit. See README for the schema.
+var jsonResults []msu.BenchResult
 
 // emitCSV prints the cumulative distributions as plot-ready CSV:
 // one row per millisecond bin, one column per series.
@@ -55,9 +63,9 @@ func emitCSV(series []trace.Series, maxMs int) {
 
 func main() {
 	flag.Parse()
-	which := "all"
-	if flag.NArg() > 0 {
-		which = flag.Arg(0)
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
 	}
 	experiments := map[string]func(){
 		"table1":   table1,
@@ -70,20 +78,44 @@ func main() {
 		"ibtree":   ibtreeOverhead,
 		"jitter":   jitterBound,
 		"striping": striping,
+		"iosched":  ioschedLive,
+		"delivery": deliveryPath,
 	}
-	if which == "all" {
-		for _, name := range []string{"table1", "graph1", "graph2", "hbastall", "mempath", "scale", "elevator", "ibtree", "jitter", "striping"} {
-			experiments[name]()
-			fmt.Println()
+	all := []string{"table1", "graph1", "graph2", "hbastall", "mempath", "scale", "elevator", "ibtree", "jitter", "striping", "iosched", "delivery"}
+	for i, which := range args {
+		names := []string{which}
+		if which == "all" {
+			names = all
+		} else if _, ok := experiments[which]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+			os.Exit(2)
 		}
-		return
+		for j, name := range names {
+			if i+j > 0 {
+				fmt.Println()
+			}
+			experiments[name]()
+		}
 	}
-	fn, ok := experiments[which]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+	if *jsonOut != "" {
+		writeJSON(*jsonOut)
+	}
+}
+
+// writeJSON emits the collected machine-readable entries.
+func writeJSON(path string) {
+	if len(jsonResults) == 0 {
+		fmt.Fprintln(os.Stderr, "calliope-bench: -json set but no selected experiment produces machine-readable results (iosched, delivery do)")
 		os.Exit(2)
 	}
-	fn()
+	buf, err := json.MarshalIndent(jsonResults, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(jsonResults), path)
 }
 
 func header(title string) {
@@ -370,6 +402,43 @@ func striping() {
 	fmt.Printf("striped across two: %5.1f%% within 50 ms   (all customers reach all items)\n",
 		striped.Recorder.PercentWithin(50*time.Millisecond))
 	fmt.Println("cost: the striped duty cycle multiplies the worst-case VCR-command delay by N (§2.3.3)")
+}
+
+// ioschedLive measures the per-disk I/O scheduler on the real player
+// path — §2.3.3's elevator result on the live MSU rather than E6's
+// synthetic readers: 24 concurrent players over one mechanically
+// modelled volume, C-SCAN rounds vs the DirectIO ablation.
+func ioschedLive() {
+	header("§2.2.1/§2.3.3: live-path I/O scheduler — 24 players, C-SCAN rounds vs direct reads")
+	results, err := msu.MeasureIOSched(*sessions)
+	if err != nil {
+		fatal(err)
+	}
+	jsonResults = append(jsonResults, results...)
+	fmt.Printf("%-16s %12s %12s %12s %12s\n", "", "session", "pkts/s", "seek MB/ses", "xfers/ses")
+	for _, r := range results {
+		fmt.Printf("%-16s %12v %12.0f %12.0f %12.0f\n",
+			r.Name, time.Duration(r.NsPerOp).Round(time.Millisecond), r.PktsPerSec, r.SeekMBPerOp, r.XfersPerOp)
+	}
+	if len(results) == 2 && results[0].NsPerOp > 0 {
+		fmt.Printf("improvement: %.1f%%   (paper: ~6%% on real 1996 disks; the model's seek share is larger)\n",
+			(results[1].NsPerOp/results[0].NsPerOp-1)*100)
+	}
+}
+
+// deliveryPath measures the zero-copy delivery pipeline on a
+// memory-backed volume: per-packet cost and amortized allocations from
+// disk process to UDP write.
+func deliveryPath() {
+	header("§2.3: zero-copy delivery path — disk process → descriptor queue → UDP")
+	res, err := msu.MeasureDelivery(*sessions)
+	if err != nil {
+		fatal(err)
+	}
+	jsonResults = append(jsonResults, res)
+	fmt.Printf("%-20s %12.0f pkts/s   %8.0f ns/pkt   %6.3f allocs/pkt (amortized)\n",
+		res.Name, res.PktsPerSec, res.NsPerOp, res.AllocsPerOp)
+	fmt.Println("steady state allocates nothing per packet; the residue is per-session setup")
 }
 
 type memBlockFile struct {

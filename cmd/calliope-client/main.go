@@ -93,6 +93,9 @@ func main() {
 			if cs := d.Cache; cs.Lookups() > 0 || cs.Evictions > 0 {
 				fmt.Printf("  %-14s       cache %s\n", "", cs)
 			}
+			if io := d.IO; io.Requests > 0 {
+				fmt.Printf("  %-14s       io %s\n", "", io)
+			}
 			for _, cov := range d.Cached {
 				fmt.Printf("  %-14s       cached %q %d/%d pages, %d players\n",
 					"", cov.Name, cov.CachedPages, cov.TotalPages, cov.Players)

@@ -135,6 +135,22 @@ func (u *unitScan) visit(n ast.Node, stack []ast.Node, depth int) {
 				u.sinkIfRef(arg, stack)
 			}
 		}
+		// iosched.Scheduler.Submit hands the destination buffer to the
+		// scheduler: a ref mentioned anywhere in the argument — even
+		// buried as `page.Bytes()` inside a Request literal — is pinned
+		// by the submitter until completion, so treat every mention as
+		// a hand-off, not just direct *PageRef-typed arguments.
+		if sel, ok := n.Fun.(*ast.SelectorExpr); ok && depth == 0 &&
+			sel.Sel.Name == "Submit" && u.recvIs(sel, "Scheduler", "iosched") {
+			for _, arg := range n.Args {
+				ast.Inspect(arg, func(sub ast.Node) bool {
+					if e, ok := sub.(ast.Expr); ok {
+						u.sinkIfRef(e, stack)
+					}
+					return true
+				})
+			}
+		}
 	case *ast.CompositeLit:
 		if depth == 0 {
 			for _, elt := range n.Elts {

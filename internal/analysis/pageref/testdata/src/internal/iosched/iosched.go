@@ -1,0 +1,17 @@
+// Package iosched is a stub of calliope/internal/iosched for pageref
+// testdata: just enough surface for the analyzer's Submit hand-off
+// rule.
+package iosched
+
+// Request is one page read.
+type Request struct {
+	Off int64
+	Buf []byte
+	C   chan *Request
+	Err error
+}
+
+// Scheduler services page reads for one volume.
+type Scheduler struct{}
+
+func (s *Scheduler) Submit(r *Request) {}

@@ -40,6 +40,7 @@ var DeterministicPkgs = []string{
 	"internal/coordinator", // §2.2: scheduling decisions use the injected clock
 	"internal/faultinject", // fault timing must come from the injected After hook
 	"internal/admindb",     // snapshot timestamps come from the injected Options.Now
+	"internal/iosched",     // §2.2.1: rounds are work-conserving; lateness uses Options.Now
 }
 
 //go:embed allowlist.txt
@@ -86,6 +87,12 @@ func run(pass *framework.Pass) error {
 			obj := pass.TypesInfo.Uses[sel.Sel]
 			fn, ok := obj.(*types.Func)
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			// Only package-level time.Now/Sleep/After touch the wall
+			// clock; methods sharing a name (time.Time.After is a pure
+			// comparison) are fine.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 				return true
 			}
 			pass.Reportf(call.Pos(), "time.%s in deterministic package %s: use the injected clock (see DESIGN.md, Static analysis & invariants)", fn.Name(), pass.Pkg.Path())

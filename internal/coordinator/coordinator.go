@@ -198,6 +198,8 @@ type diskState struct {
 	// whether a play needs a disk duty-cycle slot.
 	cache    trace.CacheStats
 	coverage map[string]wire.ContentCoverage
+	// io mirrors the disk's I/O-scheduler counters from the last report.
+	io trace.IOSchedStats
 }
 
 // warm reports whether a content is warmly cached on this disk — at
@@ -705,6 +707,7 @@ func (c *Coordinator) status() *wire.Status {
 				SpaceUsed:     units.ByteSize((d.space.Reserved() + d.space.Standing()) * int64(d.blockSize)),
 				SpaceCap:      units.ByteSize(d.space.Capacity() * int64(d.blockSize)),
 				Cache:         d.cache,
+				IO:            d.io,
 			}
 			for _, cov := range d.coverage {
 				du.Cached = append(du.Cached, cov)
@@ -741,6 +744,7 @@ func (ctx *connCtx) cacheReport(req wire.CacheReport) {
 	}
 	d := m.disks[req.Disk]
 	d.cache = req.Stats
+	d.io = req.IO
 	d.coverage = make(map[string]wire.ContentCoverage, len(req.Coverage))
 	for _, cov := range req.Coverage {
 		d.coverage[cov.Name] = cov

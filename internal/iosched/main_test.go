@@ -1,0 +1,11 @@
+package iosched_test
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running (a
+// scheduler loop or worker without a shutdown edge).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

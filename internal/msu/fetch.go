@@ -1,0 +1,235 @@
+package msu
+
+import (
+	"fmt"
+	"time"
+
+	"calliope/internal/ibtree"
+	"calliope/internal/iosched"
+	"calliope/internal/queue"
+)
+
+// fetcher pipelines a player's page reads through the per-volume I/O
+// schedulers (§2.2.1, §2.3.3): it keeps up to readAheadPages requests
+// staged ahead of the cursor, each tagged with the delivery deadline of
+// the page's first packet, so the per-disk elevator can order and
+// coalesce across every concurrent player's demand. On striped content
+// consecutive pages land on adjacent volumes, so the staged requests
+// fan out across min(readAheadPages, width) disks in parallel.
+type fetcher struct {
+	p     *player
+	pages int64 // total pages in the tree
+	next  int64 // next page index to stage
+	// pageDur approximates one page's play time, for deadlines; epoch
+	// anchors them to the delivery timeline (an estimate of netLoop's
+	// epoch — deadlines order and bound scheduler rounds, they are not
+	// hard real-time).
+	pageDur time.Duration
+	epoch   time.Time
+	slots   []fetchSlot
+	head    int // ring index of the oldest staged slot
+	n       int // staged slots
+}
+
+// fetchSlot is one staged page: the pinned destination page, the
+// scheduler request reading into it, and its completion channel.
+type fetchSlot struct {
+	idx     int64
+	page    *queue.PageRef
+	hit     bool // satisfied from the RAM cache, no I/O issued
+	insert  bool // page came from cache.Alloc: insert after verify
+	pending bool // submitted to a scheduler, completion not yet taken
+	err     error
+	req     iosched.Request
+	c       chan *iosched.Request
+}
+
+// newFetcher builds the player's prefetch ring, or returns nil when the
+// direct-read path applies: Config.DirectIO, or content not backed by a
+// store file (test fixtures reading through the cursor only).
+func newFetcher(p *player) *fetcher {
+	if p.file == nil || len(p.s.m.scheds) == 0 {
+		return nil
+	}
+	pages := p.tree.Meta().Pages
+	f := &fetcher{
+		p:     p,
+		pages: pages,
+		epoch: time.Now(),
+		slots: make([]fetchSlot, readAheadPages),
+	}
+	if pages > 0 {
+		f.pageDur = p.tree.Length() / time.Duration(pages)
+	}
+	for i := range f.slots {
+		f.slots[i].c = make(chan *iosched.Request, 1)
+	}
+	return f
+}
+
+// deadline is the delivery time of page idx's first packet on the
+// stream clock: the fetcher's epoch plus the page's content time
+// relative to the start position, floored at the epoch (pages at or
+// before the start are wanted immediately).
+func (f *fetcher) deadline(idx int64) time.Time {
+	d := time.Duration(idx)*f.pageDur - f.p.startPos
+	if d < 0 {
+		d = 0
+	}
+	return f.epoch.Add(d)
+}
+
+// nextPage produces the page NextPage announced: it restarts the
+// pipeline if the cursor moved, tops the ring up, waits for the head
+// slot's device completion, and attaches the page to the cursor.
+// Returns (nil, nil) only when cancelled.
+func (f *fetcher) nextPage(cur *ibtree.PageCursor, want int64) (*queue.PageRef, error) {
+	p := f.p
+	if f.n == 0 || f.slots[f.head].idx != want {
+		// First page, or the cursor moved (players are sequential, so
+		// in practice this is just startup): restage at want.
+		f.abort()
+		f.next = want
+	}
+	f.fill()
+	if f.n == 0 {
+		return nil, nil // cancelled while waiting for a free page
+	}
+	slot := &f.slots[f.head]
+	if slot.pending {
+		select {
+		case <-p.cancel:
+			// The buffer belongs to the scheduler until completion:
+			// abort (deferred in diskLoop) waits before releasing.
+			return nil, nil
+		case req := <-slot.c:
+			slot.pending = false
+			slot.err = req.Err
+		}
+	}
+	page := slot.page
+	err := slot.err
+	hit, insert := slot.hit, slot.insert
+	slot.page = nil
+	f.head = (f.head + 1) % len(f.slots)
+	f.n--
+	if err != nil {
+		page.Release()
+		return nil, err
+	}
+	ok, aerr := cur.AttachPage(page.Bytes())
+	if aerr != nil || !ok {
+		page.Release()
+		if hit {
+			// The cached entry failed verification: purge it and fall
+			// back to a fresh synchronous read.
+			p.cache.Invalidate(p.cname, want)
+			p.s.m.logf("stream %d: cached page %d invalid: %v", p.s.spec.Stream, want, aerr)
+			return p.loadNextPage(cur, want)
+		}
+		if aerr == nil { // impossible: NextPage said this page exists
+			aerr = fmt.Errorf("msu: page %d vanished mid-read", want)
+		}
+		return nil, aerr
+	}
+	if insert {
+		p.cache.Insert(p.cname, want, page)
+	}
+	return page, nil
+}
+
+// fill tops up the ring. The first request blocks for a destination
+// page when the ring is empty — the player cannot advance without it —
+// while read-ahead beyond that takes only pages that are free right
+// now, so prefetch never waits on buffers the network side is still
+// draining.
+func (f *fetcher) fill() {
+	for f.n < len(f.slots) && f.next < f.pages {
+		if !f.issueOne(f.n == 0) {
+			return
+		}
+	}
+}
+
+// issueOne stages the next page into the ring's tail slot: a cache hit
+// pins the cached page outright; a miss acquires a destination page
+// (from the cache when allocatable, so later players share the read,
+// else the private pool) and submits the read to the owning volume's
+// scheduler. block selects whether a pool page is worth waiting for.
+// Returns false without staging when no page is available or the wait
+// was cancelled.
+func (f *fetcher) issueOne(block bool) bool {
+	p := f.p
+	idx := f.next
+	slot := &f.slots[(f.head+f.n)%len(f.slots)]
+	slot.idx = idx
+	slot.hit = false
+	slot.insert = false
+	slot.pending = false
+	slot.err = nil
+	if p.cache != nil {
+		if hit := p.cache.Lookup(p.cname, idx); hit != nil {
+			slot.page = hit
+			slot.hit = true
+			f.next++
+			f.n++
+			return true
+		}
+	}
+	var page *queue.PageRef
+	if p.cache != nil {
+		if page = p.cache.Alloc(); page != nil {
+			slot.insert = true
+		}
+	}
+	if page == nil {
+		if block {
+			page = p.pool.Get(p.cancel)
+		} else {
+			page = p.pool.TryGet()
+		}
+		if page == nil {
+			slot.insert = false
+			return false
+		}
+	}
+	slot.page = page
+	vol, off, err := p.file.Locate(idx)
+	if err != nil {
+		slot.err = err
+		f.next++
+		f.n++
+		return true
+	}
+	if sched := p.s.m.schedFor(vol); sched != nil {
+		slot.req = iosched.Request{Off: off, Buf: page.Bytes(), Deadline: f.deadline(idx), C: slot.c}
+		slot.pending = true
+		sched.Submit(&slot.req)
+	} else {
+		// A volume outside the scheduler set — unreachable from New's
+		// construction, but read it directly rather than fail.
+		slot.err = vol.Device().ReadAt(page.Bytes(), off)
+	}
+	f.next++
+	f.n++
+	return true
+}
+
+// abort unwinds the ring: it waits out any in-flight scheduler request
+// (the destination page is not reusable until the device is done with
+// it) and releases every staged page.
+func (f *fetcher) abort() {
+	for f.n > 0 {
+		slot := &f.slots[f.head]
+		if slot.pending {
+			<-slot.c
+			slot.pending = false
+		}
+		if slot.page != nil {
+			slot.page.Release()
+			slot.page = nil
+		}
+		f.head = (f.head + 1) % len(f.slots)
+		f.n--
+	}
+}

@@ -1,0 +1,291 @@
+package msu
+
+// This file is the non-test half of the live-path I/O benchmarks: the
+// same session harness BenchmarkIOSched runs in-package is exposed
+// here so cmd/calliope-bench can print the scheduler-vs-direct
+// comparison and emit machine-readable results (-json, BENCH_8.json).
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"calliope/internal/blockdev"
+	"calliope/internal/core"
+	"calliope/internal/media"
+	"calliope/internal/msufs"
+	"calliope/internal/units"
+)
+
+// BenchResult is one machine-readable benchmark entry — the schema
+// cmd/calliope-bench's -json flag emits. What one "op" is depends on
+// the benchmark: a delivered packet for delivery, a full multi-reader
+// session for iosched (PktsPerSec is comparable across both).
+type BenchResult struct {
+	Name        string  `json:"name"`
+	PktsPerSec  float64 `json:"pkts_s"`
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	// Mechanical counters from the Sim-backed volume, per op; absent
+	// for memory-backed measurements.
+	SeekMBPerOp float64 `json:"seek_mb_op,omitempty"`
+	XfersPerOp  float64 `json:"xfers_op,omitempty"`
+}
+
+// flatPackets builds 4 KB packets all at delivery time zero, so players
+// run flat out and a measurement exercises the disk path, not pacing.
+func flatPackets(n int) []media.Packet {
+	pkts := make([]media.Packet, n)
+	payload := make([]byte, 4096)
+	for i := range pkts {
+		pkts[i] = media.Packet{Time: 0, Payload: payload}
+	}
+	return pkts
+}
+
+// newSimVolume formats a volume over a mechanically-modelled Sim
+// device (seek curve, rotational latency, media rate, scaled by
+// 1/scale).
+func newSimVolume(size int64, scale float64) (*msufs.Volume, error) {
+	mem, err := blockdev.NewMem(size)
+	if err != nil {
+		return nil, err
+	}
+	cfg := blockdev.DefaultSimConfig()
+	cfg.TimeScale = scale
+	return msufs.Format(blockdev.NewSim(mem, cfg), msufs.Options{BlockSize: 64 * 1024, MetaSize: 256 * 1024})
+}
+
+// newBenchMSU builds an MSU over the given volumes without connecting
+// a Coordinator (New never dials; only Start does). Caching is
+// disabled so every page comes off the device and the measurement
+// isolates the I/O path.
+func newBenchMSU(direct, striped bool, vols ...*msufs.Volume) (*MSU, error) {
+	return New(Config{
+		ID:          "bench",
+		Coordinator: "127.0.0.1:1",
+		Volumes:     vols,
+		Striped:     striped,
+		DirectIO:    direct,
+		CacheBytes:  -1,
+	})
+}
+
+// openBenchStream wires a play stream for already-ingested content to
+// a throwaway localhost UDP sink, bypassing the group/RPC machinery.
+// The returned cleanup closes both sockets.
+func openBenchStream(m *MSU, disk int, id core.StreamID, name string) (*stream, func(), error) {
+	store := m.stores[disk]
+	file, err := store.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := treeFromAttrs(file, store.BlockSize())
+	if err != nil {
+		return nil, nil, err
+	}
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, sink.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		sink.Close() //nolint:errcheck
+		return nil, nil, err
+	}
+	s := &stream{
+		m:        m,
+		spec:     core.StreamSpec{Stream: id, Disk: disk},
+		vol:      store,
+		tree:     tree,
+		file:     file,
+		length:   tree.Length(),
+		speed:    core.Normal,
+		dataConn: conn,
+	}
+	cleanup := func() {
+		conn.Close() //nolint:errcheck
+		sink.Close() //nolint:errcheck
+	}
+	return s, cleanup, nil
+}
+
+// playSession plays every stream from the start to EOF concurrently,
+// then stops the players.
+func playSession(streams []*stream) error {
+	for _, s := range streams {
+		if err := s.playAt(core.Normal, 0); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, s := range streams {
+		for !s.atEOF() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("msu: measurement session never reached EOF")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	for _, s := range streams {
+		s.stopPlayer()
+	}
+	return nil
+}
+
+// ioBench is one configured I/O measurement: an MSU over a Sim-backed
+// volume with per-reader titles ingested and streams opened.
+type ioBench struct {
+	m       *MSU
+	sim     *blockdev.Sim
+	streams []*stream
+	cleanup []func()
+	packets int // per session
+}
+
+// newIOBench assembles the 24-reader harness over one Sim volume.
+func newIOBench(readers, packetsPerTitle int, direct bool, scale float64) (*ioBench, error) {
+	vol, err := newSimVolume(64*int64(units.MB), scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newBenchMSU(direct, false, vol)
+	if err != nil {
+		return nil, err
+	}
+	ib := &ioBench{m: m, sim: vol.Device().(*blockdev.Sim), packets: readers * packetsPerTitle}
+	pkts := flatPackets(packetsPerTitle)
+	for i := 0; i < readers; i++ {
+		name := fmt.Sprintf("title-%02d", i)
+		if err := Ingest(m.stores[0], name, "mpeg1", pkts); err != nil {
+			ib.close()
+			return nil, err
+		}
+		s, cleanup, err := openBenchStream(m, 0, core.StreamID(i+1), name)
+		if err != nil {
+			ib.close()
+			return nil, err
+		}
+		ib.streams = append(ib.streams, s)
+		ib.cleanup = append(ib.cleanup, cleanup)
+	}
+	return ib, nil
+}
+
+func (ib *ioBench) close() {
+	for _, s := range ib.streams {
+		s.stopPlayer()
+	}
+	for _, f := range ib.cleanup {
+		f()
+	}
+	ib.m.Close() //nolint:errcheck // bench teardown
+}
+
+// measure times the given number of sessions and assembles the entry.
+func (ib *ioBench) measure(name string, sessions int) (BenchResult, error) {
+	seekBase, opsBase := ib.sim.SeekBytes(), ib.sim.Ops()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		if err := playSession(ib.streams); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(sessions)
+	return BenchResult{
+		Name:        name,
+		PktsPerSec:  float64(ib.packets) * n / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		SeekMBPerOp: float64(ib.sim.SeekBytes()-seekBase) / n / 1e6,
+		XfersPerOp:  float64(ib.sim.Ops()-opsBase) / n,
+	}, nil
+}
+
+// MeasureIOSched runs BenchmarkIOSched's comparison outside the
+// testing framework: scheduler rounds vs the DirectIO ablation, 24
+// concurrent readers over one mechanically-modelled volume, the given
+// number of sessions each. One op is one full session.
+func MeasureIOSched(sessions int) ([]BenchResult, error) {
+	if sessions < 1 {
+		sessions = 1
+	}
+	var out []BenchResult
+	for _, variant := range []struct {
+		name   string
+		direct bool
+	}{
+		{"iosched/sched", false},
+		{"iosched/direct", true},
+	} {
+		ib, err := newIOBench(24, 256, variant.direct, 100)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ib.measure(variant.name, sessions)
+		ib.close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// MeasureDelivery times the zero-copy delivery path end to end — disk
+// process, descriptor queue, UDP writes — on a memory-backed volume
+// through the live scheduler path. One op is one delivered packet;
+// allocations are amortized over the whole run, so a steady-state
+// zero-allocation path reports a small fraction per packet.
+func MeasureDelivery(sessions int) (BenchResult, error) {
+	if sessions < 1 {
+		sessions = 1
+	}
+	const packets = 8192
+	mem, err := blockdev.NewMem(64 * int64(units.MB))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	vol, err := msufs.Format(mem, msufs.Options{BlockSize: 64 * 1024, MetaSize: 256 * 1024})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	m, err := newBenchMSU(false, false, vol)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer m.Close() //nolint:errcheck // bench teardown
+	if err := Ingest(m.stores[0], "title", "mpeg1", flatPackets(packets)); err != nil {
+		return BenchResult{}, err
+	}
+	s, cleanup, err := openBenchStream(m, 0, 1, "title")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer cleanup()
+	defer s.stopPlayer()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		if err := playSession([]*stream{s}); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	total := float64(packets * sessions)
+	return BenchResult{
+		Name:        "delivery/zero-copy",
+		PktsPerSec:  total / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / total,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / total,
+	}, nil
+}

@@ -27,9 +27,11 @@ import (
 	"calliope/internal/cache"
 	"calliope/internal/core"
 	"calliope/internal/ibtree"
+	"calliope/internal/iosched"
 	"calliope/internal/msufs"
 	"calliope/internal/protocol"
 	"calliope/internal/queue"
+	"calliope/internal/trace"
 	"calliope/internal/units"
 	"calliope/internal/wire"
 )
@@ -74,6 +76,14 @@ type Config struct {
 	// streams). Zero selects DefaultCacheBytes; negative disables
 	// caching.
 	CacheBytes units.ByteSize
+	// DirectIO bypasses the per-volume I/O schedulers: every player
+	// issues its own blocking ReadBlock, the pre-scheduler behavior.
+	// Kept as the ablation baseline BenchmarkIOSched measures against.
+	DirectIO bool
+	// IODepth bounds in-flight transfers per physical volume in the
+	// I/O scheduler. 0 or 1 is the paper's one-I/O-per-disk invariant
+	// (§2.2.1); raise it for devices with useful internal queueing.
+	IODepth int
 	// ReconnectInterval is the base of the re-registration backoff
 	// after the Coordinator connection drops (attempts space out
 	// exponentially with jitter, capped at BackoffCap).
@@ -105,6 +115,14 @@ type MSU struct {
 	// stores; entries are nil when caching is disabled or the budget
 	// is below one page.
 	caches []*cache.Cache
+	// scheds holds one I/O scheduler per physical volume (nil map when
+	// Config.DirectIO): every player's page read on that volume flows
+	// through its scheduler, so the per-disk C-SCAN rounds see the
+	// whole MSU's demand. Built once in New, immutable after.
+	scheds map[*msufs.Volume]*iosched.Scheduler
+	// storeVols lists the member volumes behind each logical disk,
+	// indexed like stores, for per-disk scheduler stat aggregation.
+	storeVols [][]*msufs.Volume
 
 	mu      sync.Mutex
 	peer    *wire.Peer
@@ -143,25 +161,36 @@ func New(cfg Config) (*MSU, error) {
 		}
 	}
 	var stores []msufs.Store
+	var storeVols [][]*msufs.Volume
 	if cfg.Striped && len(cfg.Volumes) > 1 {
 		set, err := msufs.NewStripeSet(cfg.Volumes...)
 		if err != nil {
 			return nil, err
 		}
 		stores = []msufs.Store{msufs.NewStripedStore(set)}
+		storeVols = [][]*msufs.Volume{cfg.Volumes}
 	} else {
 		for _, v := range cfg.Volumes {
 			stores = append(stores, msufs.NewStore(v))
+			storeVols = append(storeVols, []*msufs.Volume{v})
 		}
 	}
-	return &MSU{
-		cfg:     cfg,
-		stores:  stores,
-		caches:  buildCaches(cfg.CacheBytes, stores),
-		streams: make(map[core.StreamID]*stream),
-		groups:  make(map[uint64]*group),
-		quit:    make(chan struct{}),
-	}, nil
+	m := &MSU{
+		cfg:       cfg,
+		stores:    stores,
+		storeVols: storeVols,
+		caches:    buildCaches(cfg.CacheBytes, stores),
+		streams:   make(map[core.StreamID]*stream),
+		groups:    make(map[uint64]*group),
+		quit:      make(chan struct{}),
+	}
+	if !cfg.DirectIO {
+		m.scheds = make(map[*msufs.Volume]*iosched.Scheduler, len(cfg.Volumes))
+		for _, v := range cfg.Volumes {
+			m.scheds[v] = iosched.New(v.Device(), iosched.Options{Depth: cfg.IODepth, Now: time.Now})
+		}
+	}
+	return m, nil
 }
 
 // buildCaches sizes one RAM interval cache per logical disk. The page
@@ -198,22 +227,47 @@ func (m *MSU) cacheFor(disk int) *cache.Cache {
 	return m.caches[disk]
 }
 
-// reportCache advertises one disk's cache heat to the Coordinator,
-// which re-evaluates queued admissions on every report. Sent when heat
-// changes: a player reaches EOF or stops.
+// schedFor returns the I/O scheduler owning a physical volume, or nil
+// when DirectIO is on. scheds is immutable after New, so no lock.
+func (m *MSU) schedFor(v *msufs.Volume) *iosched.Scheduler {
+	return m.scheds[v]
+}
+
+// ioStats aggregates scheduler counters across one logical disk's
+// member volumes.
+func (m *MSU) ioStats(disk int) trace.IOSchedStats {
+	var total trace.IOSchedStats
+	if m.scheds == nil || disk < 0 || disk >= len(m.storeVols) {
+		return total
+	}
+	for _, v := range m.storeVols[disk] {
+		if s := m.scheds[v]; s != nil {
+			total = total.Add(s.Stats())
+		}
+	}
+	return total
+}
+
+// reportCache advertises one disk's cache heat and I/O-scheduler
+// counters to the Coordinator, which re-evaluates queued admissions on
+// every report. Sent when heat changes: a player reaches EOF or stops.
 func (m *MSU) reportCache(disk int) {
 	c := m.cacheFor(disk)
-	if c == nil {
+	io := m.ioStats(disk)
+	if c == nil && io.Requests == 0 {
 		return
 	}
-	report := wire.CacheReport{Disk: disk, Stats: c.Stats()}
-	for _, cov := range c.Coverage() {
-		report.Coverage = append(report.Coverage, wire.ContentCoverage{
-			Name:        cov.Name,
-			CachedPages: cov.CachedPages,
-			TotalPages:  cov.TotalPages,
-			Players:     cov.Players,
-		})
+	report := wire.CacheReport{Disk: disk, IO: io}
+	if c != nil {
+		report.Stats = c.Stats()
+		for _, cov := range c.Coverage() {
+			report.Coverage = append(report.Coverage, wire.ContentCoverage{
+				Name:        cov.Name,
+				CachedPages: cov.CachedPages,
+				TotalPages:  cov.TotalPages,
+				Players:     cov.Players,
+			})
+		}
 	}
 	m.notifyCoordinator(wire.TypeCacheReport, report)
 }
@@ -252,6 +306,12 @@ func (m *MSU) Close() error {
 		err = peer.Close()
 	}
 	m.wg.Wait()
+	// Schedulers close after every player has drained: a scheduler
+	// completes its pending requests with ErrClosed, so any straggler
+	// fetch unblocks rather than hanging.
+	for _, s := range m.scheds {
+		s.Close() //nolint:errcheck // Close never fails
+	}
 	return err
 }
 

@@ -25,7 +25,11 @@ type stream struct {
 	group *group
 
 	// Playback state.
-	tree     *ibtree.Tree
+	tree *ibtree.Tree
+	// file is the content's store file, kept alongside tree so page
+	// reads can be located on a physical volume and submitted to its
+	// I/O scheduler.
+	file     msufs.StoreFile
 	length   time.Duration
 	every    int // fast-scan filter interval
 	ffName   string
@@ -72,6 +76,7 @@ func (m *MSU) newPlayStream(spec core.StreamSpec, vol msufs.Store) (*stream, err
 		spec:   spec,
 		vol:    vol,
 		tree:   tree,
+		file:   file,
 		length: length,
 		every:  every,
 		ffName: attrs[AttrFastFwd],
@@ -216,40 +221,47 @@ func (s *stream) setSpeed(sp core.Speed) error {
 	return s.playAt(sp, pos)
 }
 
-// fastTree lazily opens a fast-scan companion file.
-func (s *stream) fastTree(name string) (*ibtree.Tree, error) {
+// fastTree lazily opens a fast-scan companion file, returning its tree
+// and the store file backing it (for scheduler-path page location).
+func (s *stream) fastTree(name string) (*ibtree.Tree, msufs.StoreFile, error) {
 	if name == "" {
-		return nil, fmt.Errorf("%w: %q", core.ErrNoFastFile, s.spec.Content)
+		return nil, nil, fmt.Errorf("%w: %q", core.ErrNoFastFile, s.spec.Content)
 	}
 	file, err := s.vol.Open(name)
 	if err != nil {
-		return nil, fmt.Errorf("%w: companion %q: %v", core.ErrNoFastFile, name, err)
+		return nil, nil, fmt.Errorf("%w: companion %q: %v", core.ErrNoFastFile, name, err)
 	}
-	return treeFromAttrs(file, s.vol.BlockSize())
+	t, err := treeFromAttrs(file, s.vol.BlockSize())
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, file, nil
 }
 
 // playAt launches delivery at the given speed from the given
 // normal-rate position.
 func (s *stream) playAt(sp core.Speed, normalPos time.Duration) error {
 	var tree *ibtree.Tree
+	var file msufs.StoreFile
 	var treePos time.Duration
 	switch sp {
 	case core.Normal:
 		tree = s.tree
+		file = s.file
 		treePos = normalPos
 	case core.FastForward:
-		t, err := s.fastTree(s.ffName)
+		t, f, err := s.fastTree(s.ffName)
 		if err != nil {
 			return err
 		}
-		tree = t
+		tree, file = t, f
 		treePos = media.MapPosition(normalPos, s.every, true)
 	case core.FastBackward:
-		t, err := s.fastTree(s.fbName)
+		t, f, err := s.fastTree(s.fbName)
 		if err != nil {
 			return err
 		}
-		tree = t
+		tree, file = t, f
 		treePos = media.MapPositionBackward(normalPos, s.length, s.every)
 	default:
 		return fmt.Errorf("%w: speed %v", core.ErrBadRequest, sp)
@@ -267,6 +279,7 @@ func (s *stream) playAt(sp core.Speed, normalPos time.Duration) error {
 	p := &player{
 		s:        s,
 		tree:     tree,
+		file:     file,
 		speed:    sp,
 		startPos: treePos,
 		cache:    s.m.cacheFor(s.spec.Disk),
@@ -351,8 +364,13 @@ type descriptor struct {
 // steady-state path from disk read to UDP write performs zero copies
 // and zero allocations.
 type player struct {
-	s        *stream
-	tree     *ibtree.Tree
+	s    *stream
+	tree *ibtree.Tree
+	// file backs tree on the store; nil when the tree is not a store
+	// file (test fixtures). Non-nil file plus live schedulers selects
+	// the prefetch-ring read path (fetcher); otherwise the disk process
+	// reads synchronously through the cursor.
+	file     msufs.StoreFile
 	speed    core.Speed
 	startPos time.Duration
 	// cache is the disk's shared RAM interval cache (nil when off):
@@ -392,7 +410,14 @@ func (p *player) stop() {
 }
 
 func (p *player) start() {
-	pool, err := queue.NewPagePool(p.tree.PageSize(), readAheadPages)
+	poolPages := readAheadPages
+	if p.file != nil && len(p.s.m.scheds) > 0 {
+		// The prefetch ring stages up to readAheadPages pages while the
+		// page just taken off the ring is still being cut into
+		// descriptors, so the scheduler path needs one more.
+		poolPages++
+	}
+	pool, err := queue.NewPagePool(p.tree.PageSize(), poolPages)
 	if err != nil { // impossible: Open rejects non-positive page sizes
 		panic(err)
 	}
@@ -441,6 +466,14 @@ func (p *player) diskLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 		enqueue(descriptor{eof: true}) // t=0: error EOF is reported immediately
 		return
 	}
+	// The prefetch ring (nil on the direct path) pipelines page reads
+	// through the per-volume I/O schedulers. Its abort runs before
+	// diskDone closes (defer LIFO), so in-flight device transfers are
+	// waited out before netLoop's drain proceeds.
+	f := newFetcher(p)
+	if f != nil {
+		defer f.abort()
+	}
 	// lastT/gap place the EOF marker on the delivery timeline one
 	// packet interval after the final packet, so the network goroutine
 	// paces the EOF notification like any other item instead of racing
@@ -456,7 +489,12 @@ func (p *player) diskLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 			enqueue(descriptor{t: lastT + slack, eof: true})
 			return
 		}
-		page, err := p.loadNextPage(cur, next)
+		var page *queue.PageRef
+		if f != nil {
+			page, err = f.nextPage(cur, next)
+		} else {
+			page, err = p.loadNextPage(cur, next)
+		}
 		if err != nil {
 			p.s.m.logf("stream %d: read: %v", p.s.spec.Stream, err)
 			enqueue(descriptor{eof: true}) // t=0: error EOF is reported immediately

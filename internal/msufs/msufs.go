@@ -238,6 +238,12 @@ func (v *Volume) flushLocked() error {
 // BlockSize reports the volume's block size in bytes.
 func (v *Volume) BlockSize() int { return v.blockSize }
 
+// Device exposes the raw disk under the volume. The MSU builds one
+// I/O scheduler (internal/iosched) per physical volume over this
+// device; data-block reads then flow through the scheduler instead of
+// each player calling ReadBlock directly.
+func (v *Volume) Device() blockdev.BlockDevice { return v.dev }
+
 // TotalBlocks reports the number of data blocks on the volume.
 func (v *Volume) TotalBlocks() int64 { return v.nblocks }
 
@@ -517,6 +523,23 @@ func (f *File) ReadBlock(i int64, p []byte) error {
 		return err
 	}
 	return f.v.dev.ReadAt(p, off)
+}
+
+// Locate maps file block index i to its physical volume and device
+// byte offset — the coordinates a scheduler-submitted read addresses.
+// The extent resolution happens under the metadata lock; the I/O
+// itself does not.
+func (f *File) Locate(i int64) (*Volume, int64, error) {
+	f.v.mu.Lock()
+	defer f.v.mu.Unlock()
+	if f.m.deleted {
+		return nil, 0, fmt.Errorf("%w: %s was removed", ErrNotFound, f.m.Name)
+	}
+	off, err := f.devOffsetLocked(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f.v, off, nil
 }
 
 // BlockLen reports how many valid bytes block i holds.

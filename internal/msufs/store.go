@@ -28,6 +28,11 @@ type StoreFile interface {
 	BlockLen(i int64) int
 	Commit() error
 	Attrs() map[string]string
+	// Locate maps a file block index to the physical volume holding it
+	// and the device byte offset within that volume, so reads can be
+	// submitted to the volume's I/O scheduler instead of going through
+	// ReadBlock.
+	Locate(i int64) (*Volume, int64, error)
 }
 
 // volumeStore adapts a single Volume.

@@ -3,6 +3,7 @@ package msufs
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 )
 
 // StripeSet lays a file out round-robin across several volumes —
@@ -43,7 +44,10 @@ type StripedFile struct {
 	set   *StripeSet
 	name  string
 	parts []*File
-	size  int64
+	// size is the logical valid-byte count. A recorder grows it while
+	// concurrent readers (players, BlockLen) observe it, so it is
+	// atomic; growth is a CAS-max so racing writers never shrink it.
+	size atomic.Int64
 }
 
 // Create makes a striped file, dividing the reservation evenly.
@@ -83,7 +87,7 @@ func (s *StripeSet) Open(name string) (*StripedFile, error) {
 		if err != nil {
 			return nil, fmt.Errorf("msufs: corrupt stripe size attr %q: %w", raw, err)
 		}
-		sf.size = n
+		sf.size.Store(n)
 	}
 	return sf, nil
 }
@@ -103,7 +107,7 @@ func (s *StripeSet) Remove(name string) error {
 func (f *StripedFile) Name() string { return f.name }
 
 // Size reports the count of valid bytes.
-func (f *StripedFile) Size() int64 { return f.size }
+func (f *StripedFile) Size() int64 { return f.size.Load() }
 
 // Volume reports which volume index serves logical block i — the
 // round-robin schedule the striped duty cycle follows.
@@ -118,10 +122,13 @@ func (f *StripedFile) WriteBlock(i int64, p []byte) error {
 	if err := f.parts[i%n].WriteBlock(i/n, p); err != nil {
 		return err
 	}
-	if end := i*int64(f.set.BlockSize()) + int64(len(p)); end > f.size {
-		f.size = end
+	end := i*int64(f.set.BlockSize()) + int64(len(p))
+	for {
+		cur := f.size.Load()
+		if end <= cur || f.size.CompareAndSwap(cur, end) {
+			return nil
+		}
 	}
-	return nil
 }
 
 // ReadBlock fills p from logical block i.
@@ -133,14 +140,27 @@ func (f *StripedFile) ReadBlock(i int64, p []byte) error {
 	return f.parts[i%n].ReadBlock(i/n, p)
 }
 
+// Locate maps logical block i to its stripe member's volume and
+// device offset. Consecutive logical blocks land on adjacent volumes
+// (§2.3.3), which is what lets a player's read-ahead fan out across
+// min(K, width) member schedulers in parallel.
+func (f *StripedFile) Locate(i int64) (*Volume, int64, error) {
+	if i < 0 {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadBlock, i)
+	}
+	n := int64(len(f.parts))
+	return f.parts[i%n].Locate(i / n)
+}
+
 // BlockLen reports how many valid bytes logical block i holds.
 func (f *StripedFile) BlockLen(i int64) int {
 	bs := int64(f.set.BlockSize())
+	size := f.size.Load()
 	start := i * bs
-	if start >= f.size {
+	if start >= size {
 		return 0
 	}
-	n := f.size - start
+	n := size - start
 	if n > bs {
 		n = bs
 	}
@@ -160,5 +180,5 @@ func (f *StripedFile) Commit() error {
 			return fmt.Errorf("msufs: striped commit on volume %d: %w", i, err)
 		}
 	}
-	return f.set.vols[0].SetAttr(f.name, stripeSizeAttr, strconv.FormatInt(f.size, 10))
+	return f.set.vols[0].SetAttr(f.name, stripeSizeAttr, strconv.FormatInt(f.size.Load(), 10))
 }

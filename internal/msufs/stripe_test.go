@@ -2,6 +2,7 @@ package msufs
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"calliope/internal/blockdev"
@@ -88,6 +89,89 @@ func TestStripeCommitAndReopen(t *testing.T) {
 	}
 	if g.BlockLen(2) != 0 {
 		t.Fatalf("BlockLen(2) = %d", g.BlockLen(2))
+	}
+}
+
+// TestStripeSizeConcurrent is the regression test for the StripedFile
+// size data race: a recorder growing the file while players read its
+// size and block lengths. Run under -race (make race), the old plain
+// int64 field trips the detector; the atomic CAS-max must also never
+// let an observed size shrink.
+func TestStripeSizeConcurrent(t *testing.T) {
+	const blocks = 64
+	s := testStripeSet(t, 2)
+	f, err := s.Create("live", blocks*64*1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ { // concurrent readers polling size state
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				size := f.Size()
+				if size < last {
+					t.Errorf("observed size shrink: %d after %d", size, last)
+					return
+				}
+				last = size
+				f.BlockLen(size / (64 * 1024))
+			}
+		}()
+	}
+	payload := make([]byte, 64*1024) // recorder appending blocks
+	for i := int64(0); i < blocks; i++ {
+		if err := f.WriteBlock(i, payload); err != nil {
+			t.Fatalf("WriteBlock(%d): %v", i, err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	if got, want := f.Size(), int64(blocks*64*1024); got != want {
+		t.Fatalf("final size %d, want %d", got, want)
+	}
+}
+
+// TestStripeLocate verifies logical blocks map to the round-robin
+// member volume and a sane device offset.
+func TestStripeLocate(t *testing.T) {
+	s := testStripeSet(t, 3)
+	f, err := s.Create("placed", 6*64*1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		if err := f.WriteBlock(i, bytes.Repeat([]byte{byte(i + 1)}, 64*1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 6; i++ {
+		vol, off, err := f.Locate(i)
+		if err != nil {
+			t.Fatalf("Locate(%d): %v", i, err)
+		}
+		if want := s.vols[i%3]; vol != want {
+			t.Errorf("Locate(%d) volume = %p, want member %d", i, vol, i%3)
+		}
+		// The located offset must read back exactly the block's bytes.
+		got := make([]byte, 64*1024)
+		if err := vol.Device().ReadAt(got, off); err != nil {
+			t.Fatalf("device read at Locate(%d): %v", i, err)
+		}
+		if got[0] != byte(i+1) || got[64*1024-1] != byte(i+1) {
+			t.Errorf("Locate(%d) offset %d reads payload %d..%d, want %d", i, off, got[0], got[64*1024-1], i+1)
+		}
+	}
+	if _, _, err := f.Locate(-1); err == nil {
+		t.Error("Locate(-1) succeeded")
 	}
 }
 

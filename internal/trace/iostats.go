@@ -1,0 +1,83 @@
+package trace
+
+import "fmt"
+
+// IOSchedStats is a point-in-time snapshot of one volume's I/O
+// scheduler counters (internal/iosched): how many page requests were
+// served, how they grouped into C-SCAN rounds, how much head travel the
+// elevator ordering spent, and how the deadlines fared. The MSU ships
+// these to the Coordinator alongside cache reports; calliope-client
+// status prints them per disk.
+type IOSchedStats struct {
+	// Requests counts page reads submitted to the scheduler.
+	Requests int64 `json:"requests"`
+	// Rounds counts C-SCAN service rounds; Requests/Rounds is the mean
+	// round size.
+	Rounds int64 `json:"rounds"`
+	// Reads counts device transfers issued; Requests-Reads requests
+	// were coalesced into a neighbouring transfer.
+	Reads int64 `json:"reads"`
+	// Coalesced counts requests that rode an adjacent request's
+	// transfer instead of issuing their own.
+	Coalesced int64 `json:"coalesced"`
+	// SeekBytes sums the absolute head travel between consecutive
+	// transfers — the quantity elevator ordering minimizes.
+	SeekBytes int64 `json:"seekBytes"`
+	// QueuePeak is the deepest pending queue observed.
+	QueuePeak int64 `json:"queuePeak"`
+	// Late counts requests completed after their deadline; MaxLateMs is
+	// the worst lateness observed, in milliseconds.
+	Late      int64 `json:"late"`
+	MaxLateMs int64 `json:"maxLateMs"`
+}
+
+// Sub returns the counter deltas since an earlier snapshot (QueuePeak
+// and MaxLateMs are high-water marks, not counters: the later snapshot
+// wins).
+func (s IOSchedStats) Sub(prev IOSchedStats) IOSchedStats {
+	return IOSchedStats{
+		Requests:  s.Requests - prev.Requests,
+		Rounds:    s.Rounds - prev.Rounds,
+		Reads:     s.Reads - prev.Reads,
+		Coalesced: s.Coalesced - prev.Coalesced,
+		SeekBytes: s.SeekBytes - prev.SeekBytes,
+		QueuePeak: s.QueuePeak,
+		Late:      s.Late - prev.Late,
+		MaxLateMs: s.MaxLateMs,
+	}
+}
+
+// Add merges two snapshots (e.g. one per member volume into a striped
+// logical disk's total). High-water marks take the max.
+func (s IOSchedStats) Add(o IOSchedStats) IOSchedStats {
+	out := IOSchedStats{
+		Requests:  s.Requests + o.Requests,
+		Rounds:    s.Rounds + o.Rounds,
+		Reads:     s.Reads + o.Reads,
+		Coalesced: s.Coalesced + o.Coalesced,
+		SeekBytes: s.SeekBytes + o.SeekBytes,
+		QueuePeak: s.QueuePeak,
+		Late:      s.Late + o.Late,
+		MaxLateMs: s.MaxLateMs,
+	}
+	if o.QueuePeak > out.QueuePeak {
+		out.QueuePeak = o.QueuePeak
+	}
+	if o.MaxLateMs > out.MaxLateMs {
+		out.MaxLateMs = o.MaxLateMs
+	}
+	return out
+}
+
+// RoundSize reports the mean requests per round, 0 with no rounds.
+func (s IOSchedStats) RoundSize() float64 {
+	if s.Rounds > 0 {
+		return float64(s.Requests) / float64(s.Rounds)
+	}
+	return 0
+}
+
+func (s IOSchedStats) String() string {
+	return fmt.Sprintf("reqs %d rounds %d (%.1f/round) reads %d coalesced %d seek %dMB peak %d late %d (max %dms)",
+		s.Requests, s.Rounds, s.RoundSize(), s.Reads, s.Coalesced, s.SeekBytes>>20, s.QueuePeak, s.Late, s.MaxLateMs)
+}

@@ -193,6 +193,8 @@ type DiskUsage struct {
 	// RAM interval-cache state from the disk's last cache report.
 	Cache  trace.CacheStats  `json:"cache,omitzero"`
 	Cached []ContentCoverage `json:"cached,omitempty"`
+	// I/O-scheduler counters from the disk's last cache report.
+	IO trace.IOSchedStats `json:"io,omitzero"`
 }
 
 // DiskInfo describes one MSU disk in MSUHello.
@@ -244,6 +246,10 @@ type CacheReport struct {
 	Disk     int               `json:"disk"`
 	Stats    trace.CacheStats  `json:"stats"`
 	Coverage []ContentCoverage `json:"coverage,omitempty"`
+	// IO carries the disk's I/O-scheduler counters (requests, rounds,
+	// coalescing, seek distance, deadline lateness) alongside the cache
+	// heat, so operator tooling sees the elevator's effect.
+	IO trace.IOSchedStats `json:"io,omitzero"`
 }
 
 // MSUWelcome answers MSUHello.
