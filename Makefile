@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race faults leakcheck bench bench-smoke bench-path bench-cache bench-iosched repro examples clean
+.PHONY: all build vet lint test race faults leakcheck replicate bench bench-smoke bench-path bench-cache bench-iosched repro examples clean
 
 all: build vet lint test
 
@@ -28,13 +28,20 @@ race:
 # reporting: every TestMain runs internal/leakcheck, and the tag makes
 # clean packages print their final goroutine count too.
 leakcheck:
-	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/iosched ./internal/leakcheck
+	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/iosched ./internal/replicate ./internal/leakcheck
 
 # Failure-recovery tests under deterministic fault injection
 # (internal/faultinject; see DESIGN.md, "Failure handling"), including
 # the Coordinator crash–restart scenarios backed by internal/admindb.
 faults:
 	$(GO) test -race -timeout 120s -run 'Fault|Failover|Redispatch|Reconnect|MSUDown|Lost|Restart|Orphan|Corrupt' . ./internal/coordinator ./internal/client ./internal/msu ./internal/faultinject ./internal/admindb
+
+# The demand-driven replication subsystem: copy-engine framing, the
+# MSU transfer path, the Coordinator placement policy, and the
+# end-to-end replication/delete-race/crash scenarios, under -race.
+replicate:
+	$(GO) test -race -timeout 180s ./internal/replicate
+	$(GO) test -race -timeout 180s -run 'Replicat' . ./internal/coordinator ./internal/msu
 
 # One measurement per table/figure, as Go benchmarks.
 bench:

@@ -168,6 +168,11 @@ type ClusterConfig struct {
 	Users map[string]coordinator.Role
 	// QueueTimeout bounds queued requests (default 30s).
 	QueueTimeout time.Duration
+	// Replication tunes the Coordinator's demand-driven content
+	// replication policy (hot titles earn extra MSU copies over the
+	// MSU-to-MSU transfer path); the zero value enables it with
+	// defaults. Set Replication.Disable to switch the policy off.
+	Replication coordinator.ReplicationConfig
 	// StateDir, if set, gives the Coordinator a durable administrative
 	// database (internal/admindb) in that directory, and enables
 	// Cluster.RestartCoordinator: a crash–restart of the Coordinator
@@ -181,6 +186,11 @@ type ClusterConfig struct {
 	// here (internal/faultinject) so one MSU can be "crashed" by
 	// severing everything it has dialed.
 	MSUDial func(msuIdx int) func(network, address string) (net.Conn, error)
+	// MSUListen supplies a per-MSU TCP listener factory for the
+	// replication transfer port; nil means net.Listen. The fault tests
+	// pass injector-wrapped listeners so "crashing" an MSU also severs
+	// the copies it is serving.
+	MSUListen func(msuIdx int) func(network, address string) (net.Listener, error)
 	// WrapDevice, if set, wraps each disk's block device before it is
 	// formatted — the place to interpose a faultinject.Device.
 	WrapDevice func(msuIdx, diskIdx int, dev blockdev.BlockDevice) blockdev.BlockDevice
@@ -199,6 +209,10 @@ type Cluster struct {
 	Coordinator *coordinator.Coordinator
 	MSUs        []*msu.MSU
 	vols        [][]*msufs.Volume
+	// msuCfgs keeps each MSU's original configuration so RestartMSU can
+	// bring the replacement up with the same dialers, listeners, layout
+	// and budgets.
+	msuCfgs []msu.Config
 	// store is the Coordinator's durable administrative database when
 	// ClusterConfig.StateDir was set; the Cluster owns its lifecycle.
 	store    *admindb.FileStore
@@ -232,6 +246,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		Types:        cfg.Types,
 		Users:        cfg.Users,
 		QueueTimeout: cfg.QueueTimeout,
+		Replication:  cfg.Replication,
 		Logger:       cfg.Logger,
 	}
 	var store *admindb.FileStore
@@ -307,6 +322,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.MSUDial != nil {
 			mcfg.Dial = cfg.MSUDial(i)
 		}
+		if cfg.MSUListen != nil {
+			mcfg.Listen = cfg.MSUListen(i)
+		}
 		m, err := msu.New(mcfg)
 		if err != nil {
 			cl.Close()
@@ -318,6 +336,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		cl.MSUs = append(cl.MSUs, m)
 		cl.vols = append(cl.vols, vols)
+		cl.msuCfgs = append(cl.msuCfgs, mcfg)
 	}
 	return cl, nil
 }
@@ -354,11 +373,9 @@ func (c *Cluster) RestartMSU(idx int) (*msu.MSU, error) {
 	if idx < 0 || idx >= len(c.vols) {
 		return nil, fmt.Errorf("calliope: no MSU %d", idx)
 	}
-	m, err := msu.New(msu.Config{
-		ID:          core.MSUID(fmt.Sprintf("msu%d", idx)),
-		Coordinator: c.Addr(),
-		Volumes:     c.vols[idx],
-	})
+	mcfg := c.msuCfgs[idx]
+	mcfg.Coordinator = c.Addr() // the Coordinator may have restarted on a new port
+	m, err := msu.New(mcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	calliope-bench [-dur 2m] [-json out.json] [table1|graph1|graph2|hbastall|mempath|scale|elevator|ibtree|jitter|striping|iosched|delivery|all]...
+//	calliope-bench [-dur 2m] [-json out.json] [table1|graph1|graph2|hbastall|mempath|scale|elevator|ibtree|jitter|striping|iosched|delivery|replicate|all]...
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"calliope/internal/ibtree"
 	"calliope/internal/media"
 	"calliope/internal/msu"
+	"calliope/internal/msufs"
 	"calliope/internal/simhw"
 	"calliope/internal/simmsu"
 	"calliope/internal/trace"
@@ -32,7 +33,7 @@ import (
 var (
 	simDur   = flag.Duration("dur", 2*time.Minute, "simulated duration per throughput experiment (the paper ran 6m)")
 	csvOut   = flag.Bool("csv", false, "for graph1/graph2: emit the full 1 ms-bin CDF as CSV for plotting")
-	jsonOut  = flag.String("json", "", "write machine-readable results for the experiments that produce them (iosched, delivery) to this path")
+	jsonOut  = flag.String("json", "", "write machine-readable results for the experiments that produce them (iosched, delivery, replicate) to this path")
 	sessions = flag.Int("sessions", 3, "for iosched/delivery: measured sessions per variant")
 )
 
@@ -78,10 +79,11 @@ func main() {
 		"ibtree":   ibtreeOverhead,
 		"jitter":   jitterBound,
 		"striping": striping,
-		"iosched":  ioschedLive,
-		"delivery": deliveryPath,
+		"iosched":   ioschedLive,
+		"delivery":  deliveryPath,
+		"replicate": replicateXfer,
 	}
-	all := []string{"table1", "graph1", "graph2", "hbastall", "mempath", "scale", "elevator", "ibtree", "jitter", "striping", "iosched", "delivery"}
+	all := []string{"table1", "graph1", "graph2", "hbastall", "mempath", "scale", "elevator", "ibtree", "jitter", "striping", "iosched", "delivery", "replicate"}
 	for i, which := range args {
 		names := []string{which}
 		if which == "all" {
@@ -105,7 +107,7 @@ func main() {
 // writeJSON emits the collected machine-readable entries.
 func writeJSON(path string) {
 	if len(jsonResults) == 0 {
-		fmt.Fprintln(os.Stderr, "calliope-bench: -json set but no selected experiment produces machine-readable results (iosched, delivery do)")
+		fmt.Fprintln(os.Stderr, "calliope-bench: -json set but no selected experiment produces machine-readable results (iosched, delivery, replicate do)")
 		os.Exit(2)
 	}
 	buf, err := json.MarshalIndent(jsonResults, "", "  ")
@@ -454,6 +456,159 @@ func (m *memBlockFile) WriteBlock(i int64, p []byte) error {
 }
 func (m *memBlockFile) ReadBlock(i int64, p []byte) error { copy(p, m.blocks[i]); return nil }
 func (m *memBlockFile) BlockLen(i int64) int              { return len(m.blocks[i]) }
+
+// replicateXfer measures demand-driven replication (DESIGN.md §3h) on
+// a real two-MSU cluster: two live streams soak the source disk to 75%
+// of its duty cycle, a queued play forces a background copy onto the
+// empty MSU over the remaining slack, and the experiment reports the
+// copy's throughput next to the live streams' end-to-end lateness with
+// and without the copy — the §3h preemption rule says the copy may
+// only use idle bandwidth, so live delivery must not move.
+func replicateXfer() {
+	header("§3h: demand-driven replication — copy throughput vs live-stream lateness")
+	const hogLen, movieLen = 6 * time.Second, 2 * time.Second
+
+	// run plays two 1500 Kbps streams against a 4000 Kbps disk and
+	// reports how far past their nominal length they finish; with
+	// withCopy it also queues a third play, which can only be admitted
+	// once the Coordinator has replicated its title over the ~1000 Kbps
+	// of slack, and times that copy.
+	run := func(withCopy bool) (overrun, copyDur, admitWait time.Duration, copied int64) {
+		gen := func(d time.Duration) []calliope.Packet {
+			pkts, err := media.GenerateCBR(media.CBRConfig{
+				Rate: 1500 * units.Kbps, PacketSize: 1024, FPS: 30, GOP: 15, Duration: d,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			return pkts
+		}
+		hog, movie := gen(hogLen), gen(movieLen)
+		cluster, err := calliope.StartCluster(calliope.ClusterConfig{
+			MSUs:          2,
+			BlockSize:     64 * 1024,
+			DiskBandwidth: 4000 * units.Kbps,
+			NetBandwidth:  20 * units.Mbps,
+			CacheBytes:    -1, // keep the streams disk-bound so the slack is exact
+			Preload: func(m, d int, vol *msufs.Volume) error {
+				if m != 0 {
+					return nil
+				}
+				if err := calliope.Ingest(vol, "hog", "mpeg1", hog); err != nil {
+					return err
+				}
+				return calliope.Ingest(vol, "movie", "mpeg1", movie)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer cluster.Close()
+		admin, err := calliope.Dial(cluster.Addr(), "bench")
+		if err != nil {
+			fatal(err)
+		}
+		defer admin.Close()
+
+		start := time.Now()
+		var streams []*calliope.Stream
+		for i := 0; i < 2; i++ {
+			recv, err := calliope.NewReceiver("")
+			if err != nil {
+				fatal(err)
+			}
+			defer recv.Close()
+			port := fmt.Sprintf("hog%d", i)
+			if err := admin.RegisterPort(port, "mpeg1", recv.Addr(), ""); err != nil {
+				fatal(err)
+			}
+			s, err := admin.Play("hog", port, false)
+			if err != nil {
+				fatal(err)
+			}
+			streams = append(streams, s)
+		}
+
+		if withCopy {
+			// The queued play needs its own session: a Wait-play blocks
+			// its control connection until admitted.
+			viewer, err := calliope.Dial(cluster.Addr(), "bench-viewer")
+			if err != nil {
+				fatal(err)
+			}
+			defer viewer.Close()
+			recv, err := calliope.NewReceiver("")
+			if err != nil {
+				fatal(err)
+			}
+			defer recv.Close()
+			if err := viewer.RegisterPort("tv", "mpeg1", recv.Addr(), ""); err != nil {
+				fatal(err)
+			}
+			admitCh := make(chan time.Duration, 1)
+			go func() {
+				q := time.Now()
+				if _, err := viewer.Play("movie", "tv", true); err != nil {
+					fatal(err)
+				}
+				admitCh <- time.Since(q)
+			}()
+			var copyStart, copyEnd time.Time
+			for copyEnd.IsZero() {
+				st, err := admin.Status()
+				if err != nil {
+					fatal(err)
+				}
+				if copyStart.IsZero() && st.Repl.Active >= 1 {
+					copyStart = time.Now()
+				}
+				if st.Repl.Completed >= 1 {
+					copyEnd = time.Now()
+					copied = st.Repl.BytesCopied
+				}
+				if time.Since(start) > 30*time.Second {
+					fatal(fmt.Errorf("replication never completed"))
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if copyStart.IsZero() {
+				copyStart = copyEnd
+			}
+			copyDur = copyEnd.Sub(copyStart)
+			admitWait = <-admitCh
+		}
+
+		for _, s := range streams {
+			select {
+			case <-s.EOF():
+			case <-time.After(hogLen + 20*time.Second):
+				fatal(fmt.Errorf("live stream never reached EOF"))
+			}
+		}
+		overrun = time.Since(start) - streams[0].Length()
+		return overrun, copyDur, admitWait, copied
+	}
+
+	base, _, _, _ := run(false)
+	during, copyDur, admitWait, copied := run(true)
+	mbps := 0.0
+	if copyDur > 0 {
+		mbps = float64(copied) / 1e6 / copyDur.Seconds()
+	}
+	fmt.Printf("copy: %s in %v  (%.2f MB/s over ~1 Mbit/s of slack)   queued play admitted after %v\n",
+		units.ByteSize(copied), copyDur.Round(time.Millisecond), mbps, admitWait.Round(time.Millisecond))
+	fmt.Printf("live-stream finish lateness: %v idle, %v during the copy\n",
+		base.Round(time.Millisecond), during.Round(time.Millisecond))
+	fmt.Println("the copy rides only idle duty-cycle slots, so live lateness is unchanged (§3h)")
+	jsonResults = append(jsonResults,
+		// For the copy entry ns_op is the copy's wall time, pkts_s its
+		// MB/s and seek_mb_op the MB moved; the stream entries carry
+		// finish lateness in ns_op.
+		msu.BenchResult{Name: "replicate/copy", NsPerOp: float64(copyDur), PktsPerSec: mbps, SeekMBPerOp: float64(copied) / 1e6},
+		msu.BenchResult{Name: "replicate/streams-idle", NsPerOp: float64(base)},
+		msu.BenchResult{Name: "replicate/streams-during-copy", NsPerOp: float64(during)},
+	)
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "calliope-bench:", err)

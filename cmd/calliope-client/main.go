@@ -54,10 +54,15 @@ func main() {
 			fmt.Println("(no content)")
 			return
 		}
-		fmt.Printf("%-24s %-12s %-12s %-10s %s\n", "NAME", "TYPE", "LENGTH", "SIZE", "FAST")
+		fmt.Printf("%-24s %-12s %-12s %-10s %-6s %s\n", "NAME", "TYPE", "LENGTH", "SIZE", "FAST", "REPLICAS")
 		for _, it := range items {
-			fmt.Printf("%-24s %-12s %-12s %-10s %v\n",
-				it.Name, it.Type, it.Length.Round(time.Millisecond), it.Size, it.HasFast)
+			locs := make([]string, len(it.Replicas))
+			for i, d := range it.Replicas {
+				locs[i] = d.String()
+			}
+			fmt.Printf("%-24s %-12s %-12s %-10s %-6v %d: %s\n",
+				it.Name, it.Type, it.Length.Round(time.Millisecond), it.Size, it.HasFast,
+				len(it.Replicas), strings.Join(locs, " "))
 		}
 	case "types":
 		types, err := c.ListTypes()
@@ -76,6 +81,9 @@ func main() {
 		}
 		fmt.Printf("MSUs: %d (%d available)  streams: %d  contents: %d  sessions: %d  requests: %d\n",
 			st.MSUs, st.MSUsAvailable, st.ActiveStreams, st.Contents, st.Sessions, st.Requests)
+		if r := st.Repl; r.Planned > 0 || r.Completed > 0 || r.Aborted > 0 || r.Dropped > 0 || r.Active > 0 {
+			fmt.Printf("  repl %s\n", r)
+		}
 		for _, n := range st.Net {
 			state := "up"
 			if !n.Alive {

@@ -41,6 +41,7 @@ var DeterministicPkgs = []string{
 	"internal/faultinject", // fault timing must come from the injected After hook
 	"internal/admindb",     // snapshot timestamps come from the injected Options.Now
 	"internal/iosched",     // §2.2.1: rounds are work-conserving; lateness uses Options.Now
+	"internal/replicate",   // copy-engine framing is pure I/O; pacing clocks live in the MSU
 }
 
 //go:embed allowlist.txt

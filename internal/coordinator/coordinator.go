@@ -79,6 +79,9 @@ type Config struct {
 	// as in the paper. The Coordinator does not close the store; its
 	// owner does, after the Coordinator shuts down.
 	Store admindb.Store
+	// Replication tunes the demand-driven content replication policy
+	// (internal/replicate); the zero value enables it with defaults.
+	Replication ReplicationConfig
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -108,11 +111,19 @@ type Coordinator struct {
 	// lostRecordings counts in-flight recordings a Coordinator crash
 	// interrupted, discovered in the store at startup.
 	lostRecordings int
+	// replications tracks in-flight MSU-to-MSU content transfers by
+	// order ID; each holds ledger reservations on both ends.
+	replications map[uint64]*replication
+	// dereplicating marks contents with a cold-replica drop in flight,
+	// so one space-pressure report cannot plan the same drop twice.
+	dereplicating map[string]bool
+	replStats     trace.ReplStats
 
 	nextSession core.SessionID
 	nextStream  core.StreamID
 	nextGroup   uint64
 	nextPort    core.PortID
+	nextRepl    uint64
 	requests    int64
 
 	// release is closed and replaced whenever resources free up, so
@@ -149,6 +160,29 @@ func (r *contentRec) setLocation(d core.DiskID) {
 	}
 }
 
+// replicaList freezes a record's replica locations for a listing:
+// primary first, then MSU id order.
+func replicaList(rec *contentRec) []core.DiskID {
+	if len(rec.locations) == 0 {
+		return nil
+	}
+	ids := make([]core.MSUID, 0, len(rec.locations))
+	for id := range rec.locations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]core.DiskID, 0, len(ids))
+	if d, ok := rec.locations[rec.info.Disk.MSU]; ok {
+		out = append(out, d)
+	}
+	for _, id := range ids {
+		if id != rec.info.Disk.MSU {
+			out = append(out, rec.locations[id])
+		}
+	}
+	return out
+}
+
 // dropLocation forgets an MSU's replica, repointing the primary if
 // needed; reports whether any replica remains.
 func (r *contentRec) dropLocation(id core.MSUID) bool {
@@ -182,7 +216,10 @@ type msuState struct {
 	id    core.MSUID
 	peer  *wire.Peer
 	alive bool
-	disks []*diskState
+	// transferAddr is the MSU's replication transfer listener, where
+	// peer MSUs pull content copies from; empty when not advertised.
+	transferAddr string
+	disks        []*diskState
 	// net is the MSU's NIC delivery budget. Every play stream reserves
 	// from it; warmly cached plays reserve ONLY from it, so the RAM
 	// cache multiplies capacity past the disks' duty-cycle limit.
@@ -259,6 +296,8 @@ func New(cfg Config) (*Coordinator, error) {
 		pending:       make(map[uint64]*pendingComposite),
 		redispatching: make(map[uint64]bool),
 		recPending:    make(map[uint64]map[string]bool),
+		replications:  make(map[uint64]*replication),
+		dereplicating: make(map[string]bool),
 		release:       make(chan struct{}),
 	}
 	for _, t := range cfg.Types {
@@ -580,6 +619,19 @@ func (ctx *connCtx) handle(msgType string, body json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return nil, ctx.recordingDone(req)
+	case wire.TypeReplicateDone:
+		var req wire.ReplicateDone
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return nil, ctx.replicateDone(req)
+	case wire.TypeReplicateFailed:
+		var req wire.ReplicateFailed
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		ctx.replicateFailed(req)
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message %q", core.ErrBadRequest, msgType)
 	}
@@ -658,7 +710,9 @@ func (c *Coordinator) listContent() *wire.ContentList {
 	defer c.mu.Unlock()
 	out := &wire.ContentList{}
 	for _, rec := range c.contents {
-		out.Items = append(out.Items, rec.info)
+		info := rec.info
+		info.Replicas = replicaList(rec)
+		out.Items = append(out.Items, info)
 	}
 	sortContent(out.Items)
 	return out
@@ -685,6 +739,7 @@ func (c *Coordinator) status() *wire.Status {
 		Sessions:       len(c.sessions),
 		LostRecordings: c.lostRecordings,
 		Requests:       c.requests,
+		Repl:           c.replStats,
 	}
 	for _, m := range c.msus {
 		if m.alive {
@@ -749,6 +804,11 @@ func (ctx *connCtx) cacheReport(req wire.CacheReport) {
 	for _, cov := range req.Coverage {
 		d.coverage[cov.Name] = cov
 	}
+	// The report doubles as the replication policy's sensor input: hot
+	// titles under a loaded disk earn a second home, and a disk low on
+	// space sheds a cold extra copy.
+	c.maybeReplicateOnHeatLocked(d)
+	c.dropColdReplicaLocked(m, req.Disk)
 	c.signalRelease()
 }
 
@@ -776,6 +836,8 @@ func (c *Coordinator) addType(t core.ContentType) error {
 
 // deleteContent removes an item that is not being played or recorded.
 func (c *Coordinator) deleteContent(name string) error {
+	var aborts []replAbort
+	defer func() { sendAborts(aborts) }()
 	c.mu.Lock()
 	rec, ok := c.contents[name]
 	if !ok {
@@ -789,6 +851,17 @@ func (c *Coordinator) deleteContent(name string) error {
 		}
 	}
 	names := append([]string{name}, rec.children...)
+	// An in-flight copy of anything being deleted dies first: the
+	// destination's partial files carry no attributes and self-clean on
+	// abort, and a commit racing the delete is refused in replicateDone.
+	aborts = c.abortReplicationsLocked(func(r *replication) bool {
+		for _, n := range names {
+			if r.content == n {
+				return true
+			}
+		}
+		return false
+	})
 	// Every replica on every MSU must go; any holder being down fails
 	// the delete (the returning MSU would re-declare the item).
 	type target struct {

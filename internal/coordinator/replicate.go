@@ -1,0 +1,564 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+
+	"calliope/internal/admindb"
+	"calliope/internal/core"
+	"calliope/internal/units"
+	"calliope/internal/wire"
+)
+
+// Demand-driven content replication: the Coordinator's placement policy
+// (the other half of internal/replicate's copy engine). Two signals
+// plan a copy — a play that found a replica but no bandwidth (queue
+// pressure), and a cache report showing a title hot under a loaded disk
+// — and one signal reclaims space: a cold extra replica on a disk
+// running low. The transfer itself is ordered over the wire
+// (wire.Replicate) and runs MSU-to-MSU; this file only moves ledger
+// reservations and, at commit time, the journaled location record.
+//
+// Invariants:
+//   - A planned transfer holds real ledger reservations on both ends
+//     (source disk bandwidth + NIC, destination disk bandwidth +
+//     space), so live admission and the copy can never double-book.
+//   - The location record is journaled only inside replicateDone —
+//     after the destination has fsynced and verified — so a crash or
+//     abort anywhere earlier leaves no trace of the replica.
+//   - A play that needs the bandwidth preempts the copy (the paper's
+//     rule that background work uses idle capacity only).
+
+// ReplicationConfig tunes the policy. The zero value enables
+// replication with the defaults below.
+type ReplicationConfig struct {
+	// Disable turns the policy off entirely (the copy engine stays
+	// dormant; nothing plans transfers).
+	Disable bool
+	// HotPlayers is how many concurrent players of one title on one
+	// disk mark it hot (default 2).
+	HotPlayers int
+	// MaxReplicas bounds copies of one title, primary included
+	// (default 2).
+	MaxReplicas int
+	// Rate caps one transfer's bandwidth; 0 derives 2× the content
+	// type's delivery rate. The actual grant also never exceeds the
+	// idle bandwidth on either end.
+	Rate units.BitRate
+	// LowSpaceFrac is the free-space fraction under which a disk
+	// sheds cold extra replicas (default 0.10).
+	LowSpaceFrac float64
+}
+
+// Policy defaults and floors.
+const (
+	defaultHotPlayers   = 2
+	defaultMaxReplicas  = 2
+	defaultLowSpaceFrac = 0.10
+	// minReplRate is the slowest transfer worth starting; below this
+	// the plan waits for idle bandwidth instead.
+	minReplRate = 64 * units.Kbps
+	// hotDiskNum/hotDiskDen: the heat trigger also wants the disk's
+	// bandwidth ledger at least 3/4 committed — a hot title on an idle
+	// disk needs no second home.
+	hotDiskNum, hotDiskDen = 3, 4
+)
+
+// replKeyBase offsets transfer reservation keys away from stream IDs
+// and the recorder's probe keys.
+const replKeyBase = uint64(1) << 62
+
+// replication is one in-flight transfer's Coordinator-side state. The
+// ledger pointers are the exact objects reserved against, so cleanup
+// releases correctly even after the MSU's registration state moved on.
+type replication struct {
+	id      uint64
+	content string
+	src     core.MSUID
+	dst     core.MSUID
+	dstDisk int
+	rate    int64
+	blocks  int64
+	srcM    *msuState
+	srcD    *diskState
+	dstM    *msuState
+	dstD    *diskState
+}
+
+func (r *replication) key() uint64 { return replKeyBase + r.id }
+
+// releaseLocked returns every reservation the transfer holds. Callers
+// hold c.mu.
+func (r *replication) releaseLocked() {
+	k := r.key()
+	r.srcD.bw.Release(k) //nolint:errcheck // released at most once
+	if r.srcM.net != nil {
+		r.srcM.net.Release(k) //nolint:errcheck
+	}
+	r.dstD.bw.Release(k)    //nolint:errcheck
+	r.dstD.space.Release(k) //nolint:errcheck
+}
+
+// replAbort is a deferred abort notification, sent after c.mu drops.
+type replAbort struct {
+	peer *wire.Peer
+	id   uint64
+}
+
+func sendAborts(aborts []replAbort) {
+	for _, a := range aborts {
+		a.peer.Notify(wire.TypeReplicateAbort, wire.ReplicateAbort{ID: a.id}) //nolint:errcheck // the MSU may be dying; its own teardown cleans up
+	}
+}
+
+// hotPlayers/maxReplicas/lowSpaceFrac resolve config defaults.
+func (c *Coordinator) hotPlayers() int {
+	if n := c.cfg.Replication.HotPlayers; n > 0 {
+		return n
+	}
+	return defaultHotPlayers
+}
+
+func (c *Coordinator) maxReplicas() int {
+	if n := c.cfg.Replication.MaxReplicas; n > 0 {
+		return n
+	}
+	return defaultMaxReplicas
+}
+
+func (c *Coordinator) lowSpaceFrac() float64 {
+	if f := c.cfg.Replication.LowSpaceFrac; f > 0 {
+		return f
+	}
+	return defaultLowSpaceFrac
+}
+
+// replicationFor reports whether a transfer of name is in flight.
+// Callers hold c.mu.
+func (c *Coordinator) replicationFor(name string) *replication {
+	for _, r := range c.replications {
+		if r.content == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// planReplicationLocked decides whether content deserves another
+// replica right now and, if so, reserves both ends and dispatches the
+// transfer order in the background. Callers hold c.mu.
+func (c *Coordinator) planReplicationLocked(rec *contentRec) {
+	if c.cfg.Replication.Disable || c.closed || rec == nil {
+		return
+	}
+	name := rec.info.Name
+	if t, ok := c.types[rec.info.Type]; !ok || t.Composite() {
+		return // composite parents replicate through their children
+	}
+	if len(rec.locations) >= c.maxReplicas() || c.replicationFor(name) != nil {
+		return
+	}
+	// Source: a live holder that can serve transfers, primary first.
+	srcID, ok := c.pickSourceLocked(rec)
+	if !ok {
+		return
+	}
+	srcM := c.msus[srcID]
+	srcD := srcM.disks[rec.locations[srcID].N]
+	// Destination: the live non-holder with the roomiest matching disk.
+	dstM, dstDisk, ok := c.pickDestinationLocked(rec, srcD.blockSize)
+	if !ok {
+		return
+	}
+	dstD := dstM.disks[dstDisk]
+	// The grant: the configured (or type-derived) rate, clipped to the
+	// idle bandwidth on every ledger it must ride.
+	want := int64(c.cfg.Replication.Rate)
+	if want <= 0 {
+		if t, ok := c.types[rec.info.Type]; ok {
+			want = 2 * int64(t.Bandwidth)
+		}
+	}
+	for _, avail := range []int64{srcD.bw.Available(), srcM.net.Available(), dstD.bw.Available()} {
+		if avail < want {
+			want = avail
+		}
+	}
+	if want < int64(minReplRate) {
+		return // not enough idle bandwidth to be worth it
+	}
+	blocks := (int64(rec.info.Size) + int64(dstD.blockSize) - 1) / int64(dstD.blockSize)
+	c.nextRepl++
+	r := &replication{
+		id: c.nextRepl, content: name,
+		src: srcID, dst: dstM.id, dstDisk: dstDisk,
+		rate: want, blocks: blocks,
+		srcM: srcM, srcD: srcD, dstM: dstM, dstD: dstD,
+	}
+	k := r.key()
+	if srcD.bw.Reserve(k, want) != nil {
+		return
+	}
+	if srcM.net.Reserve(k, want) != nil {
+		srcD.bw.Release(k) //nolint:errcheck
+		return
+	}
+	if dstD.bw.Reserve(k, want) != nil {
+		srcD.bw.Release(k)  //nolint:errcheck
+		srcM.net.Release(k) //nolint:errcheck
+		return
+	}
+	if dstD.space.Reserve(k, blocks) != nil {
+		r.releaseLocked()
+		return
+	}
+	c.replications[r.id] = r
+	c.replStats.Planned++
+	c.replStats.Active++
+	order := wire.Replicate{
+		ID: r.id, Content: name, Type: rec.info.Type, Disk: dstDisk,
+		Source: srcM.transferAddr, Rate: units.BitRate(want),
+		Size: rec.info.Size, Length: rec.info.Length, HasFast: rec.info.HasFast,
+	}
+	peer := dstM.peer
+	c.logf("replicating %q: %s → %s disk %d at %v", name, srcID, dstM.id, dstDisk, units.BitRate(want))
+	c.wg.Add(1) // under c.mu: Close sets closed before waiting
+	go func() {
+		defer c.wg.Done()
+		if err := peer.CallTimeout(wire.TypeReplicate, order, nil, msuRPCTimeout); err != nil {
+			c.logf("replicate order %d (%q) to %s failed: %v", r.id, name, r.dst, err)
+			c.mu.Lock()
+			if c.replications[r.id] == r {
+				r.releaseLocked()
+				delete(c.replications, r.id)
+				c.replStats.Active--
+				c.replStats.Aborted++
+				c.signalRelease()
+			}
+			c.mu.Unlock()
+		}
+	}()
+}
+
+// pickSourceLocked finds a live holder able to serve transfers,
+// primary first then MSU id order. Callers hold c.mu.
+func (c *Coordinator) pickSourceLocked(rec *contentRec) (core.MSUID, bool) {
+	usable := func(id core.MSUID) bool {
+		m := c.msus[id]
+		loc, held := rec.locations[id]
+		return held && m != nil && m.alive && m.transferAddr != "" && m.net != nil &&
+			loc.N >= 0 && loc.N < len(m.disks)
+	}
+	if usable(rec.info.Disk.MSU) {
+		return rec.info.Disk.MSU, true
+	}
+	ids := make([]core.MSUID, 0, len(rec.locations))
+	for id := range rec.locations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if usable(id) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// pickDestinationLocked finds the best MSU not yet holding rec: alive,
+// a disk with the same block size (IB-tree pages are block-sized, so
+// replicas cannot change geometry) and the most free blocks, with room
+// for the whole item. Callers hold c.mu.
+func (c *Coordinator) pickDestinationLocked(rec *contentRec, blockSize int) (*msuState, int, bool) {
+	ids := make([]core.MSUID, 0, len(c.msus))
+	for id := range c.msus {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var bestM *msuState
+	bestDisk, bestFree := -1, int64(-1)
+	for _, id := range ids {
+		m := c.msus[id]
+		if !m.alive || m.peer == nil {
+			continue
+		}
+		if _, holds := rec.locations[id]; holds {
+			continue
+		}
+		for di, d := range m.disks {
+			if d.blockSize != blockSize {
+				continue
+			}
+			need := (int64(rec.info.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
+			free := d.space.Available()
+			if free < need {
+				continue
+			}
+			if free > bestFree {
+				bestM, bestDisk, bestFree = m, di, free
+			}
+		}
+	}
+	return bestM, bestDisk, bestM != nil
+}
+
+// maybeReplicateOnHeatLocked runs the heat trigger after a cache
+// report: a title with hotPlayers concurrent players on a disk whose
+// bandwidth ledger is mostly committed earns a second home. Callers
+// hold c.mu.
+func (c *Coordinator) maybeReplicateOnHeatLocked(d *diskState) {
+	if c.cfg.Replication.Disable {
+		return
+	}
+	if d.bw.Reserved()*hotDiskDen < d.bw.Capacity()*hotDiskNum {
+		return // the disk is not under bandwidth pressure
+	}
+	names := make([]string, 0, len(d.coverage))
+	for name := range d.coverage {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if d.coverage[name].Players >= c.hotPlayers() {
+			c.planReplicationLocked(c.contents[name])
+		}
+	}
+}
+
+// preemptReplicationsLocked tears down transfers holding bandwidth a
+// play needs on MSU m (preferring ones touching disk d), returning the
+// abort notifications to send once c.mu drops. Reports whether anything
+// was preempted. A preempted copy loses all its sunk work, so transfers
+// are only torn down when reclaiming their slots would actually clear
+// need on both the disk and NIC ledgers — otherwise a queued play whose
+// MSU is saturated by other streams would preempt the very copy planned
+// to relieve it, over and over, and the replica would never finish.
+// Callers hold c.mu.
+func (c *Coordinator) preemptReplicationsLocked(m *msuState, d *diskState, need int64) ([]replAbort, bool) {
+	var victims []*replication
+	var diskGain, netGain int64
+	for _, r := range c.replications {
+		if r.srcM != m && r.dstM != m {
+			continue
+		}
+		victims = append(victims, r)
+		if r.srcD == d || r.dstD == d {
+			diskGain += r.rate
+		}
+		if r.srcM == m {
+			netGain += r.rate // only the source side claims NIC bandwidth
+		}
+	}
+	if len(victims) == 0 {
+		return nil, false
+	}
+	if d.bw.Available()+diskGain < need {
+		return nil, false
+	}
+	if m.net != nil && m.net.Available()+netGain < need {
+		return nil, false
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		// Disk-matching transfers first, then newest first (least sunk
+		// work preempts first within a class).
+		vi := victims[i].srcD == d || victims[i].dstD == d
+		vj := victims[j].srcD == d || victims[j].dstD == d
+		if vi != vj {
+			return vi
+		}
+		return victims[i].id > victims[j].id
+	})
+	var aborts []replAbort
+	for _, r := range victims {
+		r.releaseLocked()
+		delete(c.replications, r.id)
+		c.replStats.Active--
+		c.replStats.Aborted++
+		if r.dstM.peer != nil {
+			aborts = append(aborts, replAbort{peer: r.dstM.peer, id: r.id})
+		}
+		c.logf("replication %d (%q) preempted by a play on %s", r.id, r.content, m.id)
+	}
+	return aborts, true
+}
+
+// abortReplicationsLocked tears down every transfer selected by keep,
+// returning deferred abort notifications. Callers hold c.mu.
+func (c *Coordinator) abortReplicationsLocked(match func(*replication) bool) []replAbort {
+	var aborts []replAbort
+	for id, r := range c.replications {
+		if !match(r) {
+			continue
+		}
+		r.releaseLocked()
+		delete(c.replications, id)
+		c.replStats.Active--
+		c.replStats.Aborted++
+		if r.dstM.peer != nil && r.dstM.alive {
+			aborts = append(aborts, replAbort{peer: r.dstM.peer, id: r.id})
+		}
+	}
+	return aborts
+}
+
+// replicateDone commits a verified replica: release the transfer's
+// reservations, count the copy against stored space, journal the new
+// location, and wake the pending queue — a play queued "no bandwidth"
+// on the sole holder re-evaluates against the new replica. The MSU
+// holds the replica pending our ack; an error answer (the content was
+// deleted mid-copy) makes it remove the files again, so a location
+// record is never committed for dead content.
+func (ctx *connCtx) replicateDone(req wire.ReplicateDone) error {
+	c := ctx.c
+	ctx.mu.Lock()
+	m := ctx.msu
+	ctx.mu.Unlock()
+	if m == nil {
+		return fmt.Errorf("%w: not an MSU connection", core.ErrBadRequest)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.replications[req.ID]
+	if r != nil {
+		r.releaseLocked()
+		delete(c.replications, req.ID)
+		c.replStats.Active--
+	}
+	rec, ok := c.contents[req.Content]
+	if !ok {
+		// Deleted while the copy ran: refuse the location; the answer
+		// tells the destination to take the replica back out.
+		c.replStats.Aborted++
+		c.signalRelease() // the reservations freed above
+		return fmt.Errorf("%w: %q", core.ErrNoSuchContent, req.Content)
+	}
+	d := c.diskState(core.DiskID{MSU: m.id, N: req.Disk})
+	if d == nil {
+		c.replStats.Aborted++
+		c.signalRelease()
+		return fmt.Errorf("%w: disk %d", core.ErrBadRequest, req.Disk)
+	}
+	loc := core.DiskID{MSU: m.id, N: req.Disk}
+	rec.setLocation(loc)
+	if err := c.persistLocked(admindb.SetLocation(req.Content, admindb.Location{MSU: m.id, Disk: req.Disk})); err != nil {
+		// Not journaled ⇒ not committed: undo the catalog entry and
+		// reject, so the destination removes the replica and no
+		// unjournaled location lingers.
+		rec.dropLocation(m.id)
+		c.replStats.Aborted++
+		c.signalRelease()
+		return err
+	}
+	// The replica now occupies real blocks: stored content is standing
+	// space (mirrors recordingDone). With live transfer state the
+	// reserved blocks convert exactly; an orphan commit (Coordinator
+	// restarted mid-copy, or state lost to preemption racing the
+	// commit) adds conservatively, corrected by the MSU's next
+	// re-registration.
+	blocks := (int64(req.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
+	d.space.AddStanding(blocks) //nolint:errcheck
+	c.replStats.Completed++
+	c.replStats.BytesCopied += req.Bytes
+	if r == nil {
+		c.logf("replica of %q on %v committed across a restart (transfer %d unknown)", req.Content, loc, req.ID)
+	} else {
+		c.logf("replica of %q on %v committed (%d bytes)", req.Content, loc, req.Bytes)
+	}
+	c.signalRelease()
+	return nil
+}
+
+// replicateFailed handles the destination's abandonment notice.
+func (ctx *connCtx) replicateFailed(req wire.ReplicateFailed) {
+	c := ctx.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.replications[req.ID]
+	if r == nil {
+		return // already preempted, aborted, or committed
+	}
+	r.releaseLocked()
+	delete(c.replications, req.ID)
+	c.replStats.Active--
+	c.replStats.Aborted++
+	c.logf("replication %d (%q) failed on %s: %s", req.ID, req.Content, r.dst, req.Reason)
+	c.signalRelease()
+}
+
+// dropColdReplicaLocked runs the de-replication policy for one disk
+// after its cache report: if the disk is low on space and holds a cold
+// extra copy (no players here, no active streams here, other replicas
+// elsewhere, not the primary), shed it. At most one drop is planned per
+// report; the delete RPC runs in the background. Callers hold c.mu.
+func (c *Coordinator) dropColdReplicaLocked(m *msuState, diskIdx int) {
+	if c.cfg.Replication.Disable || c.closed {
+		return
+	}
+	d := m.disks[diskIdx]
+	if float64(d.space.Available()) >= c.lowSpaceFrac()*float64(d.space.Capacity()) {
+		return // no space pressure
+	}
+	names := make([]string, 0, len(c.contents))
+	for name := range c.contents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec := c.contents[name]
+		loc, held := rec.locations[m.id]
+		if !held || loc.N != diskIdx || len(rec.locations) < 2 {
+			continue
+		}
+		if rec.info.Disk.MSU == m.id {
+			continue // never shed the primary
+		}
+		if c.dereplicating[name] || c.replicationFor(name) != nil {
+			continue
+		}
+		if cov, ok := d.coverage[name]; ok && cov.Players > 0 {
+			continue // warm here: someone is watching this copy
+		}
+		inUse := false
+		for _, a := range c.active {
+			if a.msu == m.id && a.content == name {
+				inUse = true
+				break
+			}
+		}
+		if inUse {
+			continue
+		}
+		c.dereplicating[name] = true
+		peer := m.peer
+		blocks := (int64(rec.info.Size) + int64(d.blockSize) - 1) / int64(d.blockSize)
+		c.logf("de-replicating cold %q from %s disk %d", name, m.id, diskIdx)
+		c.wg.Add(1) // under c.mu: Close sets closed before waiting
+		go c.executeDrop(peer, m, rec, name, diskIdx, blocks)
+		return
+	}
+}
+
+// executeDrop deletes one cold replica on its MSU and, on success,
+// drops the journaled location and returns the blocks to the free pool.
+func (c *Coordinator) executeDrop(peer *wire.Peer, m *msuState, rec *contentRec, name string, diskIdx int, blocks int64) {
+	defer c.wg.Done()
+	err := peer.CallTimeout(wire.TypeDeleteContent, wire.DeleteContent{Content: name}, nil, msuRPCTimeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.dereplicating, name)
+	if err != nil {
+		// In use after all, or the MSU died; the replica stays.
+		c.logf("de-replicating %q from %s: %v", name, m.id, err)
+		return
+	}
+	if c.contents[name] != rec || c.msus[m.id] != m {
+		return // deleted or re-registered meanwhile; reconciliation owns it
+	}
+	rec.dropLocation(m.id)
+	c.persistLocked(admindb.DropLocation(name, m.id)) //nolint:errcheck // worst case the journal still lists it; the next msuHello sweep reconciles
+	if d := c.diskState(core.DiskID{MSU: m.id, N: diskIdx}); d != nil {
+		adjustCapacityLocked(d.space, blocks)
+	}
+	c.replStats.Dropped++
+	c.signalRelease()
+}

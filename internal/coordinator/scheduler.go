@@ -49,7 +49,7 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 	if m != nil && m.alive {
 		return nil, fmt.Errorf("%w: MSU %q already registered", core.ErrDuplicateName, req.ID)
 	}
-	m = &msuState{id: req.ID, peer: ctx.peer, alive: true}
+	m = &msuState{id: req.ID, peer: ctx.peer, alive: true, transferAddr: req.TransferAddr}
 	declared := make(map[string]bool)
 	var muts []admindb.Mutation
 	for i, di := range req.Disks {
@@ -190,6 +190,14 @@ func (c *Coordinator) msuDown(m *msuState) {
 		return // a newer registration replaced this one
 	}
 	m.alive = false
+	// Transfers sourcing from or landing on the dead MSU cannot finish;
+	// tear down their reservations now so nothing leaks if the MSU never
+	// returns. A surviving destination is told to abandon its pull (its
+	// attribute-less partial files self-clean); a dead destination
+	// discards its own state when it restarts.
+	replAborts := c.abortReplicationsLocked(func(r *replication) bool {
+		return r.srcM == m || r.dstM == m
+	})
 	groups := make(map[uint64]*failedGroup)
 	for id, a := range c.active {
 		if a.msu != m.id {
@@ -249,6 +257,7 @@ func (c *Coordinator) msuDown(m *msuState) {
 	c.signalRelease()
 	c.mu.Unlock()
 
+	sendAborts(replAborts)
 	for _, g := range lost {
 		c.notifyGroupLost(g.session, g.id, fmt.Sprintf("recording MSU %q failed", m.id))
 	}
@@ -336,11 +345,13 @@ func (c *Coordinator) tryRedispatch(g *failedGroup) (done, retry bool, reason st
 		}
 		parts = append(parts, rec)
 	}
-	m, disks, ok := c.placePlayLocked(parts)
-	if !ok {
+	cands := c.placeCandidatesLocked(parts)
+	if len(cands) == 0 {
 		c.mu.Unlock()
 		return false, true, "no live MSU holds a replica"
 	}
+	var aborts []replAbort
+	defer func() { sendAborts(aborts) }()
 	reserved := 0
 	rollback := func() {
 		for i := 0; i < reserved; i++ {
@@ -351,20 +362,57 @@ func (c *Coordinator) tryRedispatch(g *failedGroup) (done, retry bool, reason st
 			c.releaseStreamLocked(a)
 			delete(c.active, a.id)
 		}
+		reserved = 0
 	}
-	for i, a := range g.streams {
-		diskReserved, err := c.reservePlayLocked(m, m.disks[disks[i]], a.id, int64(a.spec.Rate), a.content)
-		if err != nil {
-			rollback()
-			c.mu.Unlock()
-			return false, true, fmt.Sprintf("MSU %q has a replica but no bandwidth", m.id)
+	var m *msuState
+	attempt := func(cand playCandidate) bool {
+		m = cand.m
+		for i, a := range g.streams {
+			diskReserved, err := c.reservePlayLocked(m, m.disks[cand.disks[i]], a.id, int64(a.spec.Rate), a.content)
+			if err != nil {
+				rollback()
+				return false
+			}
+			reserved++
+			a.msu = m.id
+			a.disk = cand.disks[i]
+			a.spec.Disk = cand.disks[i]
+			a.diskReserved = diskReserved
+			c.active[a.id] = a
 		}
-		reserved++
-		a.msu = m.id
-		a.disk = disks[i]
-		a.spec.Disk = disks[i]
-		a.diskReserved = diskReserved
-		c.active[a.id] = a
+		return true
+	}
+	placed := false
+	for _, cand := range cands {
+		if attempt(cand) {
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		// Orphaned plays preempt background copies just like fresh ones.
+		var need int64
+		for _, a := range g.streams {
+			need += int64(a.spec.Rate)
+		}
+		preempted := false
+		for _, cand := range cands {
+			a, found := c.preemptReplicationsLocked(cand.m, cand.m.disks[cand.disks[0]], need)
+			aborts = append(aborts, a...)
+			preempted = preempted || found
+		}
+		if preempted {
+			for _, cand := range cands {
+				if attempt(cand) {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			c.mu.Unlock()
+			return false, true, "a replica exists but no MSU has bandwidth"
+		}
 	}
 	peer := m.peer
 	specs := make([]core.StreamSpec, len(g.streams))
@@ -431,27 +479,38 @@ func (c *Coordinator) notifyGroupLost(sess core.SessionID, group uint64, reason 
 	c.logf("group %d lost: %s", group, reason)
 }
 
-// placePlayLocked finds a live MSU holding a replica of every part,
-// preferring the first part's primary location, then MSU id order
-// (deterministic). Returns the disk index per part. Callers hold c.mu.
-func (c *Coordinator) placePlayLocked(parts []*contentRec) (*msuState, []int, bool) {
-	try := func(id core.MSUID) (*msuState, []int, bool) {
+// playCandidate is one feasible placement for a play group: a live MSU
+// holding a replica of every part, with the disk index per part.
+type playCandidate struct {
+	m     *msuState
+	disks []int
+}
+
+// placeCandidatesLocked lists every live MSU holding a replica of every
+// part, the first part's primary location first, then MSU id order
+// (deterministic). Admission tries each in turn, so a play refused
+// bandwidth on the primary falls over to any other replica — including
+// one the replication policy just created. Callers hold c.mu.
+func (c *Coordinator) placeCandidatesLocked(parts []*contentRec) []playCandidate {
+	try := func(id core.MSUID) (playCandidate, bool) {
 		m := c.msus[id]
 		if m == nil || !m.alive {
-			return nil, nil, false
+			return playCandidate{}, false
 		}
 		disks := make([]int, len(parts))
 		for i, p := range parts {
 			loc, ok := p.locate(id)
 			if !ok || loc.N < 0 || loc.N >= len(m.disks) {
-				return nil, nil, false
+				return playCandidate{}, false
 			}
 			disks[i] = loc.N
 		}
-		return m, disks, true
+		return playCandidate{m: m, disks: disks}, true
 	}
-	if m, disks, ok := try(parts[0].info.Disk.MSU); ok {
-		return m, disks, true
+	var out []playCandidate
+	primary := parts[0].info.Disk.MSU
+	if cand, ok := try(primary); ok {
+		out = append(out, cand)
 	}
 	var ids []core.MSUID
 	for id := range parts[0].locations {
@@ -459,14 +518,14 @@ func (c *Coordinator) placePlayLocked(parts []*contentRec) (*msuState, []int, bo
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		if id == parts[0].info.Disk.MSU {
+		if id == primary {
 			continue // already tried
 		}
-		if m, disks, ok := try(id); ok {
-			return m, disks, true
+		if cand, ok := try(id); ok {
+			out = append(out, cand)
 		}
 	}
-	return nil, nil, false
+	return out
 }
 
 // reservePlayLocked commits one play stream's bandwidth: NIC bandwidth
@@ -849,8 +908,8 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 		return nil, false, fmt.Errorf("%w: content %q is %q, port %q is %q",
 			core.ErrTypeMismatch, req.Content, parent.info.Type, port.Name, port.Type)
 	}
-	m, disks, found := c.placePlayLocked(parts)
-	if !found {
+	cands := c.placeCandidatesLocked(parts)
+	if len(cands) == 0 {
 		c.mu.Unlock()
 		return nil, true, fmt.Errorf("%w: no live MSU holds %q", core.ErrMSUUnavailable, req.Content)
 	}
@@ -858,6 +917,29 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 		c.mu.Unlock()
 		return nil, false, fmt.Errorf("%w: play needs a control address", core.ErrBadRequest)
 	}
+
+	// Resolve each part's type and port up front; these fail identically
+	// on every candidate, so they are permanent errors, not placement
+	// failures.
+	ptypes := make([]core.ContentType, len(parts))
+	datas := make([]string, len(parts))
+	ctrls := make([]string, len(parts))
+	for pi, part := range parts {
+		t, ok := c.types[part.info.Type]
+		if !ok {
+			c.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: %q", core.ErrNoSuchType, part.info.Type)
+		}
+		data, ctrl, err := portForType(s, port, part.info.Type)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, false, err
+		}
+		ptypes[pi], datas[pi], ctrls[pi] = t, data, ctrl
+	}
+
+	var aborts []replAbort
+	defer func() { sendAborts(aborts) }()
 
 	c.nextGroup++
 	group := c.nextGroup
@@ -869,48 +951,81 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 				delete(c.active, p.spec.Stream)
 			}
 		}
+		planned = planned[:0]
 	}
-	for pi, part := range parts {
-		t, ok := c.types[part.info.Type]
-		if !ok {
-			rollback()
+	var m *msuState
+	attempt := func(cand playCandidate) bool {
+		m = cand.m
+		for pi, part := range parts {
+			t := ptypes[pi]
+			d := m.disks[cand.disks[pi]]
+			c.nextStream++
+			id := c.nextStream
+			diskReserved, err := c.reservePlayLocked(m, d, id, int64(t.Bandwidth), part.info.Name)
+			if err != nil {
+				rollback()
+				return false
+			}
+			spec := core.StreamSpec{
+				Stream:    id,
+				Group:     group,
+				GroupSize: len(parts),
+				Content:   part.info.Name,
+				Type:      part.info.Type,
+				Protocol:  t.Protocol,
+				Class:     t.Class,
+				Rate:      t.Bandwidth,
+				Disk:      cand.disks[pi],
+				DestAddr:  datas[pi],
+				CtrlAddr:  ctrls[pi],
+				ClientTCP: req.ControlAddr,
+			}
+			planned = append(planned, plannedStream{spec: spec, rec: part})
+			c.active[id] = &activeStream{
+				id: id, group: group, msu: m.id, disk: cand.disks[pi],
+				session: s.id, content: part.info.Name, typ: part.info.Type,
+				spec: spec, diskReserved: diskReserved,
+			}
+		}
+		return true
+	}
+	placed := false
+	for _, cand := range cands {
+		if attempt(cand) {
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		// Every replica is out of bandwidth. Plays preempt background
+		// copies, so first reclaim any slots transfers hold on the
+		// candidate MSUs and retry; failing even that, plan another
+		// replica — by the time it commits, this queued play re-runs and
+		// finds the new candidate.
+		var need int64
+		for _, t := range ptypes {
+			need += int64(t.Bandwidth)
+		}
+		preempted := false
+		for _, cand := range cands {
+			a, found := c.preemptReplicationsLocked(cand.m, cand.m.disks[cand.disks[0]], need)
+			aborts = append(aborts, a...)
+			preempted = preempted || found
+		}
+		if preempted {
+			for _, cand := range cands {
+				if attempt(cand) {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			for _, part := range parts {
+				c.planReplicationLocked(part)
+			}
 			c.mu.Unlock()
-			return nil, false, fmt.Errorf("%w: %q", core.ErrNoSuchType, part.info.Type)
-		}
-		data, ctrl, err := portForType(s, port, part.info.Type)
-		if err != nil {
-			rollback()
-			c.mu.Unlock()
-			return nil, false, err
-		}
-		d := m.disks[disks[pi]]
-		c.nextStream++
-		id := c.nextStream
-		diskReserved, err := c.reservePlayLocked(m, d, id, int64(t.Bandwidth), part.info.Name)
-		if err != nil {
-			rollback()
-			c.mu.Unlock()
-			return nil, true, fmt.Errorf("%w: disk %v bandwidth", core.ErrNoResources, core.DiskID{MSU: m.id, N: disks[pi]})
-		}
-		spec := core.StreamSpec{
-			Stream:    id,
-			Group:     group,
-			GroupSize: len(parts),
-			Content:   part.info.Name,
-			Type:      part.info.Type,
-			Protocol:  t.Protocol,
-			Class:     t.Class,
-			Rate:      t.Bandwidth,
-			Disk:      disks[pi],
-			DestAddr:  data,
-			CtrlAddr:  ctrl,
-			ClientTCP: req.ControlAddr,
-		}
-		planned = append(planned, plannedStream{spec: spec, rec: part})
-		c.active[id] = &activeStream{
-			id: id, group: group, msu: m.id, disk: disks[pi],
-			session: s.id, content: part.info.Name, typ: part.info.Type,
-			spec: spec, diskReserved: diskReserved,
+			return nil, true, fmt.Errorf("%w: no replica of %q has bandwidth", core.ErrNoResources, req.Content)
 		}
 	}
 	// The issued group/stream IDs must be durable before any of them

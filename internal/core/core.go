@@ -159,6 +159,10 @@ type ContentInfo struct {
 	Disk     DiskID
 	HasFast  bool // fast-forward/backward companion files loaded
 	Children []string
+	// Replicas lists every disk holding a copy, primary first. Filled
+	// on table-of-contents listings only; the catalog's durable record
+	// keeps locations separately.
+	Replicas []DiskID
 }
 
 // VCROp is a VCR command a client sends on the per-stream control

@@ -121,7 +121,8 @@ func (in *Injector) FailDials(n int) {
 }
 
 // Partition toggles a network partition: while set, every dial fails
-// immediately. Cut existing connections separately with CutAll.
+// immediately and wrapped listeners drop inbound connections on
+// arrival. Cut existing connections separately with CutAll.
 func (in *Injector) Partition(on bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -193,11 +194,22 @@ type listener struct {
 }
 
 func (l *listener) Accept() (net.Conn, error) {
-	conn, err := l.Listener.Accept()
-	if err != nil {
-		return nil, err
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.in.mu.Lock()
+		partitioned := l.in.partitioned
+		l.in.mu.Unlock()
+		// A partitioned "machine" is unreachable inbound too: the
+		// connection is dropped on arrival, not served.
+		if partitioned {
+			conn.Close() //nolint:errcheck // refusing a dead machine's visitor
+			continue
+		}
+		return l.in.track(conn), nil
 	}
-	return l.in.track(conn), nil
 }
 
 // track registers conn and applies any scripted fault for its slot.

@@ -96,6 +96,11 @@ type Config struct {
 	// with a 5 s timeout. Fault-injection tests pass an injector here
 	// (internal/faultinject).
 	Dial func(network, address string) (net.Conn, error)
+	// Listen supplies the TCP listener for the MSU-to-MSU replication
+	// transfer port (internal/replicate); nil means net.Listen.
+	// Fault-injection tests wrap it so crashing an MSU severs its
+	// in-flight copy-outs too.
+	Listen func(network, address string) (net.Listener, error)
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -128,7 +133,14 @@ type MSU struct {
 	peer    *wire.Peer
 	streams map[core.StreamID]*stream
 	groups  map[uint64]*group
-	closed  bool
+	// transferLn accepts MSU-to-MSU replication transfers; its address
+	// travels in MSUHello. transferConns tracks live copy-out
+	// connections so Close can sever them; repl tracks inbound copy
+	// jobs by Coordinator-assigned transfer id.
+	transferLn    net.Listener
+	transferConns map[net.Conn]struct{}
+	repl          map[uint64]*replJob
+	closed        bool
 	// quit interrupts reconnect backoff sleeps on Close.
 	quit chan struct{}
 
@@ -275,9 +287,24 @@ func (m *MSU) reportCache(disk int) {
 // Start connects to the Coordinator and begins serving. It keeps
 // reconnecting until Close.
 func (m *MSU) Start() error {
+	// The replication transfer port opens before registration so the
+	// hello can advertise its address.
+	if err := m.startTransferListener(); err != nil {
+		return err
+	}
 	// First registration is synchronous so callers know the MSU is
 	// live; later reconnections happen in the background.
 	if err := m.connectOnce(); err != nil {
+		// A failed Start leaves nothing running: take the transfer
+		// listener back down and reap its accept loop.
+		m.mu.Lock()
+		ln := m.transferLn
+		m.transferLn = nil
+		m.mu.Unlock()
+		if ln != nil {
+			ln.Close() //nolint:errcheck // already failing
+		}
+		m.wg.Wait()
 		return err
 	}
 	return nil
@@ -293,11 +320,23 @@ func (m *MSU) Close() error {
 	m.closed = true
 	close(m.quit)
 	peer := m.peer
+	ln := m.transferLn
+	conns := make([]net.Conn, 0, len(m.transferConns))
+	for c := range m.transferConns {
+		conns = append(conns, c)
+	}
 	groups := make([]*group, 0, len(m.groups))
 	for _, g := range m.groups {
 		groups = append(groups, g)
 	}
 	m.mu.Unlock()
+	if ln != nil {
+		ln.Close() //nolint:errcheck // stops the accept loop
+	}
+	for _, c := range conns {
+		c.Close() //nolint:errcheck // severs in-flight copy-outs
+	}
+	m.abortAllReplications()
 	for _, g := range groups {
 		g.quit("msu shutdown")
 	}
@@ -379,6 +418,11 @@ func (m *MSU) reconnect() {
 // buildHello assembles the registration message from the volumes.
 func (m *MSU) buildHello() (*wire.MSUHello, error) {
 	hello := &wire.MSUHello{ID: m.cfg.ID, NetBandwidth: m.cfg.NetBandwidth}
+	m.mu.Lock()
+	if m.transferLn != nil {
+		hello.TransferAddr = m.transferLn.Addr().String()
+	}
+	m.mu.Unlock()
 	for _, store := range m.stores {
 		di := wire.DiskInfo{
 			BlockSize:   store.BlockSize(),
@@ -441,6 +485,19 @@ func (m *MSU) handle(msgType string, body json.RawMessage) (any, error) {
 			return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
 		}
 		return nil, m.deleteContent(req.Content)
+	case wire.TypeReplicate:
+		var req wire.Replicate
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+		}
+		return nil, m.handleReplicate(req)
+	case wire.TypeReplicateAbort:
+		var req wire.ReplicateAbort
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrBadRequest, err)
+		}
+		m.abortReplication(req.ID)
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message %q", core.ErrBadRequest, msgType)
 	}

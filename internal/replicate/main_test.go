@@ -1,0 +1,10 @@
+package replicate_test
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

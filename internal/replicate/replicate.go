@@ -1,0 +1,376 @@
+// Package replicate is the MSU-to-MSU content copy engine: the wire
+// protocol and transfer loops that move a committed content file (plus
+// its embedded IB-tree pages and fast-scan companions) from one MSU's
+// msufs volume onto another's, block by block, over a dedicated TCP
+// transfer connection.
+//
+// The package is deliberately mechanism-only. It knows nothing about
+// msufs, iosched, rate pacing, or clocks — the MSU supplies per-block
+// read/write callbacks (which route through its I/O scheduler) and a
+// Pace hook (which sleeps to hold the Coordinator-granted rate), so
+// this package stays deterministic and walltime-free. Policy — which
+// content, which source, which destination, what rate, when to abort —
+// lives in the Coordinator (internal/coordinator/replicate.go).
+//
+// # Protocol
+//
+// Every message is a CRC-framed record:
+//
+//	[1B type][4B big-endian payload length][payload][4B CRC-32 (IEEE)]
+//
+// where the CRC covers the type byte, the length, and the payload. The
+// receiving side dials, sends one FrameRequest naming the content and
+// (on a resumed transfer) the next block it needs per file, then the
+// source streams, per file:
+//
+//	FrameFile  — JSON FileHeader: name, size, block count/size, attrs
+//	FrameBlock — [8B big-endian block index][block data], in order
+//	FrameEnd   — JSON Trailer echoing the name and block count
+//
+// and finally one FrameDone. Blocks are strictly sequential from the
+// resume offset, so a partially-written destination file can always be
+// resumed by block offset after a dropped connection. Any early close,
+// CRC mismatch, or out-of-order block aborts the transfer with an
+// error; the caller owns retry/backoff and partial-file cleanup.
+package replicate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types.
+const (
+	FrameRequest byte = 1 // dst→src: Request JSON
+	FrameFile    byte = 2 // src→dst: FileHeader JSON
+	FrameBlock   byte = 3 // src→dst: [8B index][data]
+	FrameEnd     byte = 4 // src→dst: Trailer JSON
+	FrameDone    byte = 5 // src→dst: empty; transfer complete
+)
+
+// MaxFrame bounds a frame payload. Content blocks are 256 KB (msufs
+// default block size); anything past 1 MB is a corrupt or hostile
+// length field, rejected before allocation.
+const MaxFrame = 1 << 20
+
+var (
+	// ErrCRC reports a frame whose checksum did not match.
+	ErrCRC = errors.New("replicate: frame CRC mismatch")
+	// ErrFrame reports a malformed frame: oversized, unknown type, or
+	// out of protocol order.
+	ErrFrame = errors.New("replicate: bad frame")
+	// ErrOrder reports a block that arrived out of sequence.
+	ErrOrder = errors.New("replicate: block out of order")
+)
+
+// Request opens a transfer: the destination names the content it wants
+// and, when resuming after a dropped connection, the next block it
+// still needs from each file it has partially written. Files absent
+// from Resume are sent from block 0.
+type Request struct {
+	Content string       `json:"content"`
+	Resume  []FileOffset `json:"resume,omitempty"`
+	// Rate is the destination's Coordinator-granted transfer budget in
+	// bits per second; the source paces its sends to hold it (0 = no
+	// pacing). The destination carries it here because the grant lives
+	// in the Coordinator⇄destination replicate order, which the source
+	// never sees.
+	Rate int64 `json:"rate,omitempty"`
+}
+
+// FileOffset is a per-file resume point: the destination holds blocks
+// [0, NextBlock) already.
+type FileOffset struct {
+	Name      string `json:"name"`
+	NextBlock int64  `json:"nextBlock"`
+}
+
+// FileHeader announces one file of the transfer. Attrs carries the
+// msufs attributes the destination must reproduce (content type, the
+// serialized IB-tree metadata, length, fast-scan links) — except that
+// the destination withholds the type attribute until the whole
+// transfer is verified, so a partial copy is never a visible replica.
+type FileHeader struct {
+	Name       string            `json:"name"`
+	Size       int64             `json:"size"`
+	Blocks     int64             `json:"blocks"`
+	BlockSize  int               `json:"blockSize"`
+	StartBlock int64             `json:"startBlock"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Trailer closes one file, echoing its name and total block count so
+// the destination can verify it saw every block.
+type Trailer struct {
+	Name   string `json:"name"`
+	Blocks int64  `json:"blocks"`
+}
+
+// SourceFile is one file the source side serves: sizes plus a ReadBlock
+// callback that fills p with block i and reports its length. The MSU
+// routes ReadBlock through the volume's I/O scheduler with a background
+// deadline so live streams win the disk.
+type SourceFile struct {
+	Name      string
+	Size      int64
+	Blocks    int64
+	BlockSize int
+	Attrs     map[string]string
+	ReadBlock func(i int64, p []byte) (int, error)
+}
+
+// Sink receives one file on the destination: WriteBlock stores block i
+// (called strictly in order from the header's StartBlock), and Close is
+// called once after the file's trailer verifies.
+type Sink interface {
+	WriteBlock(i int64, p []byte) error
+	Close() error
+}
+
+// Summary reports what a completed Receive moved this session.
+type Summary struct {
+	Files  int   // files fully received (including already-complete resumes)
+	Blocks int64 // block frames written this session
+	Bytes  int64 // payload bytes written this session
+}
+
+// ServeOptions tunes the source loop.
+type ServeOptions struct {
+	// Pace, when set, is called after each block frame is flushed with
+	// the payload byte count; the MSU sleeps here to hold the transfer
+	// at its Coordinator-granted rate.
+	Pace func(n int)
+}
+
+// writeFrame emits one CRC-framed record.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d byte payload", ErrFrame, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readFrame reads one record, reusing buf when it is large enough.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d byte payload", ErrFrame, n)
+	}
+	if int(n) <= cap(buf) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return 0, nil, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(sum[:]) {
+		return 0, nil, ErrCRC
+	}
+	return hdr[0], payload, nil
+}
+
+func writeJSON(w io.Writer, typ byte, v any) error {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, p)
+}
+
+// WriteRequest sends the opening request; the destination calls this
+// right after dialing the source's transfer address.
+func WriteRequest(w io.Writer, req Request) error {
+	return writeJSON(w, FrameRequest, req)
+}
+
+// ReadRequest reads the opening request on a freshly accepted transfer
+// connection.
+func ReadRequest(r io.Reader) (Request, error) {
+	typ, payload, err := readFrame(r, nil)
+	if err != nil {
+		return Request{}, err
+	}
+	if typ != FrameRequest {
+		return Request{}, fmt.Errorf("%w: want request, got type %d", ErrFrame, typ)
+	}
+	var req Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrFrame, err)
+	}
+	if req.Content == "" {
+		return Request{}, fmt.Errorf("%w: empty content name", ErrFrame)
+	}
+	return req, nil
+}
+
+// Serve streams files to the destination that sent req, honouring its
+// per-file resume offsets, and finishes with a done frame. Abort by
+// closing the underlying connection; the loop returns the write error.
+func Serve(w io.Writer, files []SourceFile, req Request, opts ServeOptions) error {
+	resume := make(map[string]int64, len(req.Resume))
+	for _, fo := range req.Resume {
+		resume[fo.Name] = fo.NextBlock
+	}
+	var buf []byte
+	for _, f := range files {
+		if f.BlockSize <= 0 || f.Blocks < 0 {
+			return fmt.Errorf("%w: source file %s: blockSize %d blocks %d", ErrFrame, f.Name, f.BlockSize, f.Blocks)
+		}
+		start := resume[f.Name]
+		if start < 0 {
+			start = 0
+		}
+		if start > f.Blocks {
+			start = f.Blocks
+		}
+		hdr := FileHeader{
+			Name: f.Name, Size: f.Size, Blocks: f.Blocks,
+			BlockSize: f.BlockSize, StartBlock: start, Attrs: f.Attrs,
+		}
+		if err := writeJSON(w, FrameFile, hdr); err != nil {
+			return err
+		}
+		if need := 8 + f.BlockSize; cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		for i := start; i < f.Blocks; i++ {
+			frame := buf[:8+f.BlockSize]
+			binary.BigEndian.PutUint64(frame[:8], uint64(i))
+			n, err := f.ReadBlock(i, frame[8:])
+			if err != nil {
+				return fmt.Errorf("replicate: read %s block %d: %w", f.Name, i, err)
+			}
+			if err := writeFrame(w, FrameBlock, frame[:8+n]); err != nil {
+				return err
+			}
+			if opts.Pace != nil {
+				opts.Pace(n)
+			}
+		}
+		if err := writeJSON(w, FrameEnd, Trailer{Name: f.Name, Blocks: f.Blocks}); err != nil {
+			return err
+		}
+	}
+	return writeFrame(w, FrameDone, nil)
+}
+
+// Receive runs the destination side of an already-opened transfer
+// connection (the caller dialed and sent the Request): for each
+// announced file it calls open, writes the blocks strictly in order,
+// and closes the sink after the trailer verifies — Sink.Close is only
+// ever called on a fully-received file. It returns after the done
+// frame, or with the first protocol/storage error; on error the caller
+// cleans up (or keeps, for resume) whatever files open created. Abort
+// by closing the underlying connection.
+func Receive(r io.Reader, open func(FileHeader) (Sink, error)) (Summary, error) {
+	var (
+		sum    Summary
+		buf    = make([]byte, 8+MaxFrame)
+		cur    Sink
+		curHdr FileHeader
+		next   int64
+	)
+	fail := func(err error) (Summary, error) {
+		return sum, err
+	}
+	for {
+		typ, payload, err := readFrame(r, buf)
+		if err != nil {
+			return fail(err)
+		}
+		switch typ {
+		case FrameFile:
+			if cur != nil {
+				return fail(fmt.Errorf("%w: file header inside %s", ErrFrame, curHdr.Name))
+			}
+			var hdr FileHeader
+			if err := json.Unmarshal(payload, &hdr); err != nil {
+				return fail(fmt.Errorf("%w: %v", ErrFrame, err))
+			}
+			if hdr.BlockSize <= 0 || hdr.Blocks < 0 || hdr.StartBlock < 0 || hdr.StartBlock > hdr.Blocks {
+				return fail(fmt.Errorf("%w: header %+v", ErrFrame, hdr))
+			}
+			s, err := open(hdr)
+			if err != nil {
+				return fail(err)
+			}
+			cur, curHdr, next = s, hdr, hdr.StartBlock
+		case FrameBlock:
+			if cur == nil {
+				return fail(fmt.Errorf("%w: block before file header", ErrFrame))
+			}
+			if len(payload) < 8 {
+				return fail(fmt.Errorf("%w: short block frame", ErrFrame))
+			}
+			i := int64(binary.BigEndian.Uint64(payload[:8]))
+			if i != next {
+				return fail(fmt.Errorf("%w: %s got block %d want %d", ErrOrder, curHdr.Name, i, next))
+			}
+			data := payload[8:]
+			if len(data) > curHdr.BlockSize {
+				return fail(fmt.Errorf("%w: %s block %d is %d bytes (blockSize %d)", ErrFrame, curHdr.Name, i, len(data), curHdr.BlockSize))
+			}
+			if err := cur.WriteBlock(i, data); err != nil {
+				return fail(err)
+			}
+			next++
+			sum.Blocks++
+			sum.Bytes += int64(len(data))
+		case FrameEnd:
+			if cur == nil {
+				return fail(fmt.Errorf("%w: trailer before file header", ErrFrame))
+			}
+			var tr Trailer
+			if err := json.Unmarshal(payload, &tr); err != nil {
+				return fail(fmt.Errorf("%w: %v", ErrFrame, err))
+			}
+			if tr.Name != curHdr.Name || tr.Blocks != curHdr.Blocks || next != curHdr.Blocks {
+				return fail(fmt.Errorf("%w: trailer %+v after block %d of %+v", ErrFrame, tr, next, curHdr))
+			}
+			err := cur.Close()
+			cur = nil
+			if err != nil {
+				return sum, err
+			}
+			sum.Files++
+		case FrameDone:
+			if cur != nil {
+				return fail(fmt.Errorf("%w: done inside %s", ErrFrame, curHdr.Name))
+			}
+			return sum, nil
+		default:
+			return fail(fmt.Errorf("%w: unknown type %d", ErrFrame, typ))
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package replicate_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"calliope/internal/replicate"
+)
+
+// memFile backs a SourceFile with an in-memory byte slice.
+func memFile(name string, data []byte, blockSize int, attrs map[string]string) replicate.SourceFile {
+	blocks := int64(len(data)+blockSize-1) / int64(blockSize)
+	return replicate.SourceFile{
+		Name: name, Size: int64(len(data)), Blocks: blocks,
+		BlockSize: blockSize, Attrs: attrs,
+		ReadBlock: func(i int64, p []byte) (int, error) {
+			off := i * int64(blockSize)
+			if off >= int64(len(data)) {
+				return 0, fmt.Errorf("block %d out of range", i)
+			}
+			return copy(p, data[off:]), nil
+		},
+	}
+}
+
+// memSink collects received files keyed by name.
+type memSink struct {
+	hdr    replicate.FileHeader
+	data   []byte
+	closed bool
+}
+
+func (s *memSink) WriteBlock(i int64, p []byte) error {
+	off := i * int64(s.hdr.BlockSize)
+	if got := int64(len(s.data)); got != off {
+		return fmt.Errorf("write at block %d but have %d bytes", i, got)
+	}
+	s.data = append(s.data, p...)
+	return nil
+}
+
+func (s *memSink) Close() error {
+	s.closed = true
+	return nil
+}
+
+func receiveAll(t *testing.T, r io.Reader) (map[string]*memSink, replicate.Summary, error) {
+	t.Helper()
+	sinks := make(map[string]*memSink)
+	sum, err := replicate.Receive(r, func(h replicate.FileHeader) (replicate.Sink, error) {
+		s := &memSink{hdr: h}
+		if h.StartBlock > 0 {
+			s.data = make([]byte, h.StartBlock*int64(h.BlockSize))
+		}
+		sinks[h.Name] = s
+		return s, nil
+	})
+	return sinks, sum, err
+}
+
+func pattern(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i%251)
+	}
+	return p
+}
+
+func TestRoundTrip(t *testing.T) {
+	const bs = 4096
+	main := pattern(3*bs+777, 1) // partial last block
+	comp := pattern(bs/2, 9)     // single short file
+	files := []replicate.SourceFile{
+		memFile("movie", main, bs, map[string]string{"content-type": "mpeg1", "length": "30s"}),
+		memFile("movie.ff", comp, bs, map[string]string{"fast-role": "companion"}),
+	}
+
+	var buf bytes.Buffer
+	if err := replicate.WriteRequest(&buf, replicate.Request{Content: "movie"}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := replicate.ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Content != "movie" || len(req.Resume) != 0 {
+		t.Fatalf("request round-trip: %+v", req)
+	}
+
+	var paced int
+	opts := replicate.ServeOptions{Pace: func(n int) { paced += n }}
+	if err := replicate.Serve(&buf, files, req, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	sinks, sum, err := receiveAll(t, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Files != 2 || sum.Bytes != int64(len(main)+len(comp)) {
+		t.Fatalf("summary %+v", sum)
+	}
+	if paced != len(main)+len(comp) {
+		t.Fatalf("paced %d bytes, want %d", paced, len(main)+len(comp))
+	}
+	m := sinks["movie"]
+	if m == nil || !m.closed || !bytes.Equal(m.data, main) {
+		t.Fatalf("main file mismatch (got %d bytes)", len(m.data))
+	}
+	if m.hdr.Attrs["content-type"] != "mpeg1" || m.hdr.Size != int64(len(main)) {
+		t.Fatalf("main header %+v", m.hdr)
+	}
+	c := sinks["movie.ff"]
+	if c == nil || !c.closed || !bytes.Equal(c.data, comp) {
+		t.Fatal("companion file mismatch")
+	}
+	if c.hdr.Attrs["fast-role"] != "companion" {
+		t.Fatalf("companion attrs %+v", c.hdr.Attrs)
+	}
+}
+
+func TestResumeMidFile(t *testing.T) {
+	const bs = 1024
+	data := pattern(5*bs, 3)
+	files := []replicate.SourceFile{memFile("movie", data, bs, nil)}
+	req := replicate.Request{
+		Content: "movie",
+		Resume:  []replicate.FileOffset{{Name: "movie", NextBlock: 2}},
+	}
+
+	var buf bytes.Buffer
+	if err := replicate.Serve(&buf, files, req, replicate.ServeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sinks, sum, err := receiveAll(t, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only blocks 2..4 travel; the sink pre-fills [0,2) from disk.
+	if sum.Blocks != 3 || sum.Bytes != 3*bs {
+		t.Fatalf("summary %+v", sum)
+	}
+	m := sinks["movie"]
+	if m.hdr.StartBlock != 2 {
+		t.Fatalf("start block %d", m.hdr.StartBlock)
+	}
+	if !bytes.Equal(m.data[2*bs:], data[2*bs:]) {
+		t.Fatal("resumed tail mismatch")
+	}
+}
+
+func TestResumeAlreadyComplete(t *testing.T) {
+	const bs = 1024
+	data := pattern(2*bs, 5)
+	files := []replicate.SourceFile{memFile("movie", data, bs, nil)}
+	req := replicate.Request{
+		Content: "movie",
+		Resume:  []replicate.FileOffset{{Name: "movie", NextBlock: 99}}, // clamped to Blocks
+	}
+	var buf bytes.Buffer
+	if err := replicate.Serve(&buf, files, req, replicate.ServeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sinks, sum, err := receiveAll(t, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Blocks != 0 || sum.Files != 1 || !sinks["movie"].closed {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func serveBuffer(t *testing.T, data []byte, bs int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	files := []replicate.SourceFile{memFile("movie", data, bs, nil)}
+	if err := replicate.Serve(&buf, files, replicate.Request{Content: "movie"}, replicate.ServeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestCorruptPayload(t *testing.T) {
+	buf := serveBuffer(t, pattern(4096, 7), 1024)
+	b := buf.Bytes()
+	b[len(b)/2] ^= 0xff
+	if _, _, err := receiveAll(t, bytes.NewReader(b)); !errors.Is(err, replicate.ErrCRC) {
+		t.Fatalf("err = %v, want ErrCRC", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	buf := serveBuffer(t, pattern(4096, 7), 1024)
+	b := buf.Bytes()[:buf.Len()-10]
+	_, _, err := receiveAll(t, bytes.NewReader(b))
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [5]byte
+	hdr[0] = replicate.FrameBlock
+	binary.BigEndian.PutUint32(hdr[1:], replicate.MaxFrame+1)
+	_, _, err := receiveAll(t, bytes.NewReader(hdr[:]))
+	if !errors.Is(err, replicate.ErrFrame) {
+		t.Fatalf("err = %v, want ErrFrame", err)
+	}
+}
+
+// rawFrame builds a well-checksummed frame by hand for protocol-order
+// violations Serve would never emit.
+func rawFrame(typ byte, payload []byte) []byte {
+	out := make([]byte, 0, 9+len(payload))
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	out = append(out, hdr[:]...)
+	out = append(out, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	return append(out, sum[:]...)
+}
+
+func TestBlockBeforeHeaderRejected(t *testing.T) {
+	blk := make([]byte, 8+16)
+	binary.BigEndian.PutUint64(blk[:8], 0)
+	_, _, err := receiveAll(t, bytes.NewReader(rawFrame(replicate.FrameBlock, blk)))
+	if !errors.Is(err, replicate.ErrFrame) {
+		t.Fatalf("err = %v, want ErrFrame", err)
+	}
+}
+
+func TestOutOfOrderBlockRejected(t *testing.T) {
+	var stream []byte
+	hdr := []byte(`{"name":"movie","size":2048,"blocks":2,"blockSize":1024}`)
+	stream = append(stream, rawFrame(replicate.FrameFile, hdr)...)
+	blk := make([]byte, 8+1024)
+	binary.BigEndian.PutUint64(blk[:8], 1) // skips block 0
+	stream = append(stream, rawFrame(replicate.FrameBlock, blk)...)
+	_, _, err := receiveAll(t, bytes.NewReader(stream))
+	if !errors.Is(err, replicate.ErrOrder) {
+		t.Fatalf("err = %v, want ErrOrder", err)
+	}
+}
+
+func TestShortTrailerRejected(t *testing.T) {
+	// A trailer arriving before every block was seen must not close the
+	// file as complete.
+	var stream []byte
+	hdr := []byte(`{"name":"movie","size":2048,"blocks":2,"blockSize":1024}`)
+	stream = append(stream, rawFrame(replicate.FrameFile, hdr)...)
+	tr := []byte(`{"name":"movie","blocks":2}`)
+	stream = append(stream, rawFrame(replicate.FrameEnd, tr)...)
+	sinks, _, err := receiveAll(t, bytes.NewReader(stream))
+	if !errors.Is(err, replicate.ErrFrame) {
+		t.Fatalf("err = %v, want ErrFrame", err)
+	}
+	if sinks["movie"].closed {
+		t.Fatal("sink closed despite missing blocks")
+	}
+}
+
+func TestReadRequestRejectsGarbage(t *testing.T) {
+	if _, err := replicate.ReadRequest(bytes.NewReader(rawFrame(replicate.FrameDone, nil))); !errors.Is(err, replicate.ErrFrame) {
+		t.Fatalf("wrong type: err = %v, want ErrFrame", err)
+	}
+	if _, err := replicate.ReadRequest(bytes.NewReader(rawFrame(replicate.FrameRequest, []byte(`{}`)))); !errors.Is(err, replicate.ErrFrame) {
+		t.Fatalf("empty content: err = %v, want ErrFrame", err)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "fmt"
+
+// ReplStats is a point-in-time snapshot of the content-replication
+// subsystem's transfer counters (internal/replicate + the Coordinator
+// placement policy): how many MSU-to-MSU copies are in flight, how many
+// finished or were torn down, and how many content bytes moved. The
+// Coordinator aggregates these into Status; calliope-client status
+// prints them on the `repl` line.
+type ReplStats struct {
+	// Active counts transfers currently in flight (gauge, not a
+	// counter: Sub keeps the later snapshot's value).
+	Active int64 `json:"active"`
+	// Planned counts transfers the placement policy started.
+	Planned int64 `json:"planned"`
+	// Completed counts transfers that committed a new replica.
+	Completed int64 `json:"completed"`
+	// Aborted counts transfers torn down before commit — MSU failure
+	// mid-copy, content deletion, play preemption, or a transfer error.
+	Aborted int64 `json:"aborted"`
+	// Dropped counts cold replicas de-replicated to reclaim space.
+	Dropped int64 `json:"dropped"`
+	// BytesCopied sums content bytes committed by completed transfers.
+	BytesCopied int64 `json:"bytesCopied"`
+}
+
+// Sub returns the counter deltas since an earlier snapshot (Active is a
+// gauge: the later snapshot wins).
+func (s ReplStats) Sub(prev ReplStats) ReplStats {
+	return ReplStats{
+		Active:      s.Active,
+		Planned:     s.Planned - prev.Planned,
+		Completed:   s.Completed - prev.Completed,
+		Aborted:     s.Aborted - prev.Aborted,
+		Dropped:     s.Dropped - prev.Dropped,
+		BytesCopied: s.BytesCopied - prev.BytesCopied,
+	}
+}
+
+// Add merges two snapshots.
+func (s ReplStats) Add(o ReplStats) ReplStats {
+	return ReplStats{
+		Active:      s.Active + o.Active,
+		Planned:     s.Planned + o.Planned,
+		Completed:   s.Completed + o.Completed,
+		Aborted:     s.Aborted + o.Aborted,
+		Dropped:     s.Dropped + o.Dropped,
+		BytesCopied: s.BytesCopied + o.BytesCopied,
+	}
+}
+
+func (s ReplStats) String() string {
+	return fmt.Sprintf("active %d planned %d completed %d aborted %d dropped %d copied %dMB",
+		s.Active, s.Planned, s.Completed, s.Aborted, s.Dropped, s.BytesCopied>>20)
+}

@@ -32,6 +32,16 @@ const (
 	TypeStartStream = "start-stream"
 	TypeStopStream  = "stop-stream"
 
+	// Replication (internal/replicate): the Coordinator's placement
+	// policy orders a destination MSU to pull content from a source MSU
+	// over a dedicated transfer connection; the destination reports the
+	// verified commit (a call — the answer is the Coordinator's journal
+	// fsync) or the failure (a notification).
+	TypeReplicate       = "replicate"        // Coordinator → dst MSU
+	TypeReplicateAbort  = "replicate-abort"  // Coordinator → dst MSU
+	TypeReplicateDone   = "replicate-done"   // dst MSU → Coordinator
+	TypeReplicateFailed = "replicate-failed" // dst MSU → Coordinator
+
 	// Coordinator → Client notifications on the session connection:
 	// failure-recovery outcomes for a stream group whose MSU died.
 	TypeStreamMigrated = "stream-migrated"
@@ -168,6 +178,9 @@ type Status struct {
 	Requests       int64       `json:"requests"`
 	Disks          []DiskUsage `json:"disks,omitempty"`
 	Net            []NetUsage  `json:"net,omitempty"`
+	// Repl aggregates the content-replication subsystem's transfer
+	// counters (in-flight copies, commits, aborts, bytes moved).
+	Repl trace.ReplStats `json:"repl,omitzero"`
 }
 
 // NetUsage is one MSU's network-bandwidth scheduling state: cached and
@@ -225,6 +238,10 @@ type MSUHello struct {
 	// which keeps cold-content admission exactly as bandwidth-limited
 	// as before RAM caching existed.
 	NetBandwidth units.BitRate `json:"netBandwidth,omitempty"`
+	// TransferAddr is where the MSU accepts MSU-to-MSU replication
+	// transfer connections (internal/replicate). Empty means the MSU
+	// cannot serve as a replication source.
+	TransferAddr string `json:"transferAddr,omitempty"`
 }
 
 // ContentCoverage is one content's RAM-cache footprint on an MSU disk:
@@ -335,4 +352,56 @@ type StreamMigrated struct {
 type StreamLost struct {
 	Group  uint64 `json:"group"`
 	Reason string `json:"reason"`
+}
+
+// Replicate orders a destination MSU to pull one content item from a
+// source MSU's transfer address and store it on the named disk. The MSU
+// acks immediately and runs the copy in the background at Rate —
+// bandwidth the Coordinator has already debited from both ends'
+// ledgers, so live admission and the copy never double-book a slot.
+type Replicate struct {
+	ID      uint64         `json:"id"` // Coordinator-assigned transfer id
+	Content string         `json:"content"`
+	Type    string         `json:"type"`
+	Disk    int            `json:"disk"`   // destination disk index
+	Source  string         `json:"source"` // source MSU transfer address
+	Rate    units.BitRate  `json:"rate"`   // transfer pacing budget
+	Size    units.ByteSize `json:"size"`
+	Length  time.Duration  `json:"length"`
+	HasFast bool           `json:"hasFast"`
+}
+
+// ReplicateAbort tears down an in-flight transfer (content deleted, a
+// play preempted the bandwidth, or the source MSU died). The
+// destination stops the copy and frees its partially written blocks.
+type ReplicateAbort struct {
+	ID uint64 `json:"id"`
+}
+
+// ReplicateDone reports a verified replica: the destination has
+// committed the file and companions through msufs and re-read them
+// against the source's checksums. Sent as a call — the replica becomes
+// real only when the Coordinator journals the new location and acks. An
+// error answer (content deleted mid-copy) makes the destination remove
+// the copy again.
+type ReplicateDone struct {
+	ID      uint64         `json:"id"`
+	Content string         `json:"content"`
+	Type    string         `json:"type"`
+	Disk    int            `json:"disk"`
+	Size    units.ByteSize `json:"size"`
+	Length  time.Duration  `json:"length"`
+	HasFast bool           `json:"hasFast"`
+	Bytes   int64          `json:"bytes"` // payload bytes written this transfer
+}
+
+// ReplicateFailed reports an abandoned transfer after the destination
+// exhausted its resume attempts (or was told to abort). Partial blocks
+// are already freed; the Coordinator releases the reservations and may
+// re-plan.
+type ReplicateFailed struct {
+	ID      uint64 `json:"id"`
+	Content string `json:"content"`
+	Reason  string `json:"reason"`
+	Bytes   int64  `json:"bytes"`
 }
