@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race faults leakcheck replicate bench bench-smoke bench-path bench-cache bench-iosched repro examples clean
+.PHONY: all build vet lint test race faults leakcheck replicate obs bench bench-smoke bench-path bench-cache bench-iosched repro examples clean
 
 all: build vet lint test
 
@@ -28,7 +28,7 @@ race:
 # reporting: every TestMain runs internal/leakcheck, and the tag makes
 # clean packages print their final goroutine count too.
 leakcheck:
-	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/iosched ./internal/replicate ./internal/leakcheck
+	$(GO) test -tags leakcheck . ./internal/coordinator ./internal/msu ./internal/client ./internal/cache ./internal/queue ./internal/faultinject ./internal/wire ./internal/iosched ./internal/replicate ./internal/obs ./internal/leakcheck
 
 # Failure-recovery tests under deterministic fault injection
 # (internal/faultinject; see DESIGN.md, "Failure handling"), including
@@ -42,6 +42,14 @@ faults:
 replicate:
 	$(GO) test -race -timeout 180s ./internal/replicate
 	$(GO) test -race -timeout 180s -run 'Replicat' . ./internal/coordinator ./internal/msu
+
+# The cluster observability subsystem: the metrics registry and event
+# ring, the Coordinator's StatusV2/events RPCs and scrape endpoint, and
+# the root play→crash→migrate→EOF timeline test, under -race.
+obs:
+	$(GO) test -race -timeout 120s ./internal/obs
+	$(GO) test -race -timeout 120s -run 'Obs|StatusV2|Events|ProtoVersion' . ./internal/coordinator ./internal/wire
+	$(GO) test -run=NONE -bench='PlayerDeliveryPath$$' -benchmem ./internal/msu
 
 # One measurement per table/figure, as Go benchmarks.
 bench:

@@ -24,6 +24,7 @@
 package calliope
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -37,7 +38,9 @@ import (
 	"calliope/internal/media"
 	"calliope/internal/msu"
 	"calliope/internal/msufs"
+	"calliope/internal/obs"
 	"calliope/internal/units"
+	"calliope/internal/wire"
 )
 
 // Re-exported domain types.
@@ -49,10 +52,24 @@ type (
 	ContentInfo = core.ContentInfo
 	// Client is a Coordinator session with VCR-controlled streams.
 	Client = client.Client
+	// Options tunes a Client's failure handling; see client.Options.
+	Options = client.Options
 	// Stream is a playback handle.
 	Stream = client.Stream
 	// Recording is a record-session handle.
 	Recording = client.Recording
+	// Status is the legacy flat Coordinator load report.
+	Status = wire.Status
+	// StatusV2 is the versioned cluster status: the merged metrics
+	// snapshot plus per-disk coverage and per-MSU network load.
+	StatusV2 = wire.StatusV2
+	// Event is one entry on the Coordinator's cluster event timeline.
+	Event = obs.Event
+	// EventsRequest pages (or long-polls) the event timeline.
+	EventsRequest = wire.EventsRequest
+	// EventsReply is one page of the event timeline plus the cursor
+	// for the next request.
+	EventsReply = wire.EventsReply
 	// Receiver is a UDP display-port sink.
 	Receiver = client.Receiver
 	// JitterBuffer is the client-side smoothing buffer of §2.2.1.
@@ -75,6 +92,16 @@ const (
 
 // Dial connects to a Coordinator and opens a session.
 func Dial(coordinator, user string) (*Client, error) { return client.Dial(coordinator, user) }
+
+// DialOptions is Dial with failure-handling knobs.
+func DialOptions(coordinator, user string, opts Options) (*Client, error) {
+	return client.DialOptions(coordinator, user, opts)
+}
+
+// DialContext is Dial bounded by a context; see client.DialContext.
+func DialContext(ctx context.Context, coordinator, user string, opts Options) (*Client, error) {
+	return client.DialContext(ctx, coordinator, user, opts)
+}
 
 // NewReceiver opens a UDP display-port sink.
 func NewReceiver(host string) (*Receiver, error) { return client.NewReceiver(host) }

@@ -7,9 +7,18 @@
 //	calliope-client -coordinator 127.0.0.1:4160 list
 //	calliope-client -coordinator 127.0.0.1:4160 types
 //	calliope-client -coordinator 127.0.0.1:4160 status
+//	calliope-client -coordinator 127.0.0.1:4160 watch [interval]
+//	calliope-client -coordinator 127.0.0.1:4160 events [--follow] [--stream N]
 //	calliope-client -coordinator 127.0.0.1:4160 play <content>
 //	calliope-client -coordinator 127.0.0.1:4160 record <name> <type> <duration>
 //	calliope-client -coordinator 127.0.0.1:4160 delete <content>
+//
+// watch polls the versioned status every interval (default 2s) and
+// prints one line per tick with the cluster gauges plus delivery and
+// cache rates derived from successive snapshots. events prints the
+// Coordinator's structured event timeline (admissions, dispatches,
+// migrations, replication, EOFs); --follow long-polls for new events
+// and --stream filters to one stream's life.
 //
 // During play, VCR commands are read from stdin:
 // pause, play, seek <duration>, ff, fb, quit.
@@ -109,6 +118,18 @@ func main() {
 					"", cov.Name, cov.CachedPages, cov.TotalPages, cov.Players)
 			}
 		}
+	case "watch":
+		interval := 2 * time.Second
+		if len(args) >= 2 {
+			d, err := time.ParseDuration(args[1])
+			if err != nil {
+				fail(err)
+			}
+			interval = d
+		}
+		watch(c, interval)
+	case "events":
+		events(c, args[1:])
 	case "play":
 		if len(args) < 2 {
 			usage()
@@ -134,6 +155,106 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// watch polls StatusV2 every interval and prints one line per tick:
+// the cluster gauges, plus delivery/cache rates computed from the
+// difference between successive snapshots.
+func watch(c *calliope.Client, interval time.Duration) {
+	var prev calliope.StatusV2
+	have := false
+	for {
+		st, err := c.StatusV2()
+		if err != nil {
+			fail(err)
+		}
+		s := st.Snapshot
+		line := fmt.Sprintf("%s  msus %d/%d  streams %-3d queued %-3d sessions %-3d",
+			time.Now().Format("15:04:05"),
+			s.Gauge("msus_available"), s.Gauge("msus"),
+			s.Gauge("active_streams"), s.Gauge("queued_plays"), s.Gauge("sessions"))
+		if have {
+			d := s.Sub(prev.Snapshot)
+			secs := interval.Seconds()
+			bps := units.BitRate(float64(d.Counter("delivery_bytes_total")) * 8 / secs)
+			line += fmt.Sprintf("  %6.0f pkt/s  %-12v", float64(d.Counter("delivery_packets_total"))/secs, bps)
+			if looks := d.Counter("cache_page_hits_total") + d.Counter("disk_pages_read_total"); looks > 0 {
+				line += fmt.Sprintf("  cache %d%%", d.Counter("cache_page_hits_total")*100/looks)
+			}
+		}
+		fmt.Println(line)
+		prev, have = st, true
+		time.Sleep(interval)
+	}
+}
+
+// events prints the Coordinator's event timeline; with --follow it
+// long-polls for new events until interrupted.
+func events(c *calliope.Client, args []string) {
+	follow := false
+	var stream uint64
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--follow", "-f":
+			follow = true
+		case "--stream":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			if _, err := fmt.Sscanf(args[i], "%d", &stream); err != nil {
+				fail(fmt.Errorf("bad --stream %q: %w", args[i], err))
+			}
+		default:
+			usage()
+		}
+	}
+	var since uint64
+	for {
+		req := calliope.EventsRequest{Since: since, Stream: stream}
+		if follow && since > 0 {
+			req.WaitMillis = 10000
+		}
+		rep, err := c.Events(req)
+		if err != nil {
+			fail(err)
+		}
+		for _, ev := range rep.Events {
+			printEvent(ev)
+		}
+		since = rep.Next
+		if !follow {
+			return
+		}
+	}
+}
+
+// printEvent renders one timeline entry, omitting fields that do not
+// apply to its kind.
+func printEvent(ev calliope.Event) {
+	line := fmt.Sprintf("%s  %-16s", ev.Time.Format("15:04:05.000"), ev.Kind)
+	if ev.Session != 0 {
+		line += fmt.Sprintf(" sess=%d", ev.Session)
+	}
+	if ev.Group != 0 {
+		line += fmt.Sprintf(" group=%d", ev.Group)
+	}
+	if ev.Stream != 0 {
+		line += fmt.Sprintf(" stream=%d", ev.Stream)
+	}
+	if ev.MSU != "" {
+		line += fmt.Sprintf(" msu=%s", ev.MSU)
+	}
+	if ev.Disk >= 0 {
+		line += fmt.Sprintf(" disk=%d", ev.Disk)
+	}
+	if ev.Content != "" {
+		line += fmt.Sprintf(" content=%q", ev.Content)
+	}
+	if ev.Detail != "" {
+		line += "  " + ev.Detail
+	}
+	fmt.Println(line)
 }
 
 // play streams content to a local receiver and drives VCR commands
@@ -278,7 +399,7 @@ func record(c *calliope.Client, name, typ string, dur time.Duration) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: calliope-client [-coordinator addr] {list|types|status|play <content>|record <name> <type> <duration>|delete <content>}")
+	fmt.Fprintln(os.Stderr, "usage: calliope-client [-coordinator addr] {list|types|status|watch [interval]|events [--follow] [--stream N]|play <content>|record <name> <type> <duration>|delete <content>}")
 	os.Exit(2)
 }
 

@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	coordinator -addr 127.0.0.1:4160 [-state /var/lib/calliope] [-queue-timeout 30s] [-quiet]
+//	coordinator -addr 127.0.0.1:4160 [-state /var/lib/calliope] [-queue-timeout 30s] [-http 127.0.0.1:4161] [-quiet]
+//
+// With -http, an observability endpoint serves Prometheus-text
+// metrics at /metrics, the JSON event timeline at /events, and
+// net/http/pprof under /debug/pprof/. It is opt-in and unauthenticated
+// — bind it to a loopback or operations network only.
 //
 // With -state, every administrative mutation (content catalog, replica
 // locations, content types, ID counters, in-flight recordings) is
@@ -18,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +39,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4160", "TCP listen address for clients and MSUs")
 	state := flag.String("state", "", "directory for the durable administrative database (empty: memory-only)")
 	queueTimeout := flag.Duration("queue-timeout", 30*time.Second, "how long queued play requests may wait")
+	httpAddr := flag.String("http", "", "listen address for the observability HTTP endpoint (/metrics, /events, /debug/pprof/); empty: disabled")
 	quiet := flag.Bool("quiet", false, "disable operational logging")
 	flag.Parse()
 
@@ -68,11 +76,29 @@ func main() {
 	if store != nil {
 		fmt.Printf("administrative database in %s\n", *state)
 	}
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		httpSrv = &http.Server{Handler: c.HTTPHandler()}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		fmt.Printf("observability endpoint on http://%s/metrics\n", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if httpSrv != nil {
+		httpSrv.Close() //nolint:errcheck // teardown; the listener is going away regardless
+	}
 	c.Close()
 	if store != nil {
 		store.Close() //nolint:errcheck // every mutation is already durable

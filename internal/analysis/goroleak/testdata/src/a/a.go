@@ -184,3 +184,45 @@ func immortal() {
 		}
 	}()
 }
+
+// The obs event-ring follower: each round re-grabs the ring's
+// closed-and-replaced update channel and leaves on the caller's quit
+// edge — the long-poll tail shape, clean.
+func ringFollower(updated func() <-chan struct{}, quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-updated():
+				tick()
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// A bounded follower: the wait timer caps each park, and the loop
+// returns once the deadline passes — the Coordinator's events
+// long-poll shape, clean.
+func ringFollowerBounded(updated func() <-chan struct{}, deadline *time.Timer) {
+	go func() {
+		for {
+			select {
+			case <-updated():
+				tick()
+			case <-deadline.C:
+				return
+			}
+		}
+	}()
+}
+
+// The same follower with no quit or deadline edge never exits.
+func ringFollowerLeak(updated func() <-chan struct{}) {
+	go func() { // want `goroutine never exits: the for loop`
+		for {
+			<-updated()
+			tick()
+		}
+	}()
+}

@@ -215,3 +215,26 @@ func fakeSubmit(pool *queue.PagePool, o notScheduler) {
 func suppressed(pool *queue.PagePool) {
 	pool.TryGet() //nolint:pageref // leak is the point of this fixture
 }
+
+// Pre-registered instrument handles, as the obs metrics structs hold.
+type counter struct{}
+
+func (c *counter) inc() {}
+
+// The instrumented delivery-loop shape: counters observed after the
+// release must not confuse the tracker — the pin is balanced, the
+// instrument calls are unrelated to the page's lifetime.
+func releaseThenObserve(pool *queue.PagePool, pkts, bytes *counter) {
+	page := pool.Get(nil)
+	_ = page.Bytes()
+	page.Release()
+	pkts.inc()
+	bytes.inc()
+}
+
+// Observing between acquire and a hand-off is equally clean.
+func observeThenHandoff(pool *queue.PagePool, hits *counter, ch chan *queue.PageRef) {
+	page := pool.TryGet()
+	hits.inc()
+	ch <- page
+}

@@ -42,6 +42,7 @@ var DeterministicPkgs = []string{
 	"internal/admindb",     // snapshot timestamps come from the injected Options.Now
 	"internal/iosched",     // §2.2.1: rounds are work-conserving; lateness uses Options.Now
 	"internal/replicate",   // copy-engine framing is pure I/O; pacing clocks live in the MSU
+	"internal/obs",         // §3i: snapshots and event stamps use the injected Options.Now
 }
 
 //go:embed allowlist.txt

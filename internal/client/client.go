@@ -18,6 +18,7 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -31,8 +32,10 @@ import (
 // Options tunes a Client's failure handling.
 type Options struct {
 	// Dial supplies the TCP dialer for the Coordinator connection; nil
-	// means net.Dial. Fault-injection tests pass an injector here
-	// (internal/faultinject).
+	// means a context-aware net.Dialer. Fault-injection tests pass an
+	// injector here (internal/faultinject). A non-nil Dial is not
+	// context-aware: DialContext checks cancellation around it but
+	// cannot interrupt the dial itself.
 	Dial func(network, address string) (net.Conn, error)
 	// ReconnectBase and ReconnectCap bound the redial backoff; zero
 	// means the wire defaults.
@@ -88,14 +91,19 @@ type vcrState struct {
 
 // Dial connects to the Coordinator and opens a session for user.
 func Dial(coordinator, user string) (*Client, error) {
-	return DialOptions(coordinator, user, Options{})
+	return DialContext(context.Background(), coordinator, user, Options{})
 }
 
 // DialOptions is Dial with failure-handling knobs.
 func DialOptions(coordinator, user string, opts Options) (*Client, error) {
-	if opts.Dial == nil {
-		opts.Dial = net.Dial
-	}
+	return DialContext(context.Background(), coordinator, user, opts)
+}
+
+// DialContext is the primary constructor: it connects to the
+// Coordinator and opens a session for user, abandoning the dial and
+// the hello round-trip when ctx is cancelled. Dial and DialOptions are
+// thin wrappers over it with a background context.
+func DialContext(ctx context.Context, coordinator, user string, opts Options) (*Client, error) {
 	c := &Client{
 		coordinator: coordinator,
 		user:        user,
@@ -105,13 +113,14 @@ func DialOptions(coordinator, user string, opts Options) (*Client, error) {
 		connCh:      make(chan struct{}),
 		quit:        make(chan struct{}),
 	}
-	conn, err := opts.Dial("tcp", coordinator)
+	conn, err := c.dialConn(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing coordinator: %w", err)
 	}
 	peer := c.newCoordPeer(conn)
 	var welcome wire.Welcome
-	if err := peer.Call(wire.TypeHello, wire.Hello{User: user}, &welcome); err != nil {
+	hello := wire.Hello{User: user, ProtoVersion: wire.ProtoVersion}
+	if err := peer.CallContext(ctx, wire.TypeHello, hello, &welcome); err != nil {
 		peer.Close() //nolint:errcheck // best-effort cleanup; the Call error is what matters
 		return nil, err
 	}
@@ -131,6 +140,20 @@ func DialOptions(coordinator, user string, opts Options) (*Client, error) {
 	c.wg.Add(1)
 	go c.acceptVCR()
 	return c, nil
+}
+
+// dialConn opens one Coordinator connection. A caller-supplied Options
+// Dial keeps its legacy two-argument shape, so with it only the hello
+// round-trip is cancellable, not the dial itself.
+func (c *Client) dialConn(ctx context.Context) (net.Conn, error) {
+	if c.opts.Dial != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return c.opts.Dial("tcp", c.coordinator)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", c.coordinator)
 }
 
 // newCoordPeer wraps a Coordinator connection with the notification
@@ -208,13 +231,14 @@ func (c *Client) reconnectLoop() {
 // tryReconnect performs one redial: hello, then replay the remembered
 // port registrations onto the new session.
 func (c *Client) tryReconnect() bool {
-	conn, err := c.opts.Dial("tcp", c.coordinator)
+	conn, err := c.dialConn(context.Background())
 	if err != nil {
 		return false
 	}
 	peer := c.newCoordPeer(conn)
 	var welcome wire.Welcome
-	if err := peer.Call(wire.TypeHello, wire.Hello{User: c.user}, &welcome); err != nil {
+	hello := wire.Hello{User: c.user, ProtoVersion: wire.ProtoVersion}
+	if err := peer.Call(wire.TypeHello, hello, &welcome); err != nil {
 		peer.Close() //nolint:errcheck
 		return false
 	}
@@ -248,20 +272,28 @@ func (c *Client) coordPeer() *wire.Peer {
 	return c.peer
 }
 
-// WaitConnected blocks until the Coordinator connection is up (it
-// returns immediately while connected).
-func (c *Client) WaitConnected(timeout time.Duration) error {
+// WaitConnectedContext blocks until the Coordinator connection is up
+// (it returns immediately while connected) or ctx ends.
+func (c *Client) WaitConnectedContext(ctx context.Context) error {
 	c.mu.Lock()
 	ch := c.connCh
 	c.mu.Unlock()
-	t := time.NewTimer(timeout)
-	defer t.Stop()
 	select {
 	case <-ch:
 		return nil
-	case <-t.C:
+	case <-ctx.Done():
+		return fmt.Errorf("client: not reconnected to coordinator: %w", ctx.Err())
+	}
+}
+
+// WaitConnected is WaitConnectedContext with a timeout.
+func (c *Client) WaitConnected(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := c.WaitConnectedContext(ctx); err != nil {
 		return fmt.Errorf("client: not reconnected to coordinator after %v", timeout)
 	}
+	return nil
 }
 
 // Session reports the session identifier the Coordinator assigned (it
@@ -400,8 +432,9 @@ func (g *groupState) notePos(mu *sync.Mutex, pos time.Duration) {
 	mu.Unlock()
 }
 
-// waitVCR blocks until the MSU's control connection for group arrives.
-func (c *Client) waitVCR(group uint64, timeout time.Duration) (*vcrState, error) {
+// waitVCRContext blocks until the MSU's control connection for group
+// arrives or ctx ends.
+func (c *Client) waitVCRContext(ctx context.Context, group uint64) (*vcrState, error) {
 	c.mu.Lock()
 	if g, ok := c.groups[group]; ok && g.vcr != nil {
 		st := g.vcr
@@ -411,20 +444,30 @@ func (c *Client) waitVCR(group uint64, timeout time.Duration) (*vcrState, error)
 	ch := make(chan *vcrState, 1)
 	c.vcrWait[group] = append(c.vcrWait[group], ch)
 	c.mu.Unlock()
-	t := time.NewTimer(timeout)
-	defer t.Stop()
 	select {
 	case st := <-ch:
 		return st, nil
-	case <-t.C:
-		return nil, fmt.Errorf("client: no control connection for group %d after %v", group, timeout)
+	case <-ctx.Done():
+		return nil, fmt.Errorf("client: no control connection for group %d: %w", group, ctx.Err())
 	}
+}
+
+// call performs one Coordinator round-trip bounded by ctx. Every
+// request in this file funnels through it, so any blocking call has a
+// context-aware core.
+func (c *Client) call(ctx context.Context, msgType string, req, resp any) error {
+	return c.coordPeer().CallContext(ctx, msgType, req, resp)
 }
 
 // ListContent fetches the table of contents.
 func (c *Client) ListContent() ([]core.ContentInfo, error) {
+	return c.ListContentContext(context.Background())
+}
+
+// ListContentContext is ListContent bounded by ctx.
+func (c *Client) ListContentContext(ctx context.Context) ([]core.ContentInfo, error) {
 	var resp wire.ContentList
-	if err := c.coordPeer().Call(wire.TypeListContent, struct{}{}, &resp); err != nil {
+	if err := c.call(ctx, wire.TypeListContent, struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Items, nil
@@ -433,27 +476,55 @@ func (c *Client) ListContent() ([]core.ContentInfo, error) {
 // ListTypes fetches the content-type table.
 func (c *Client) ListTypes() ([]core.ContentType, error) {
 	var resp wire.TypeList
-	if err := c.coordPeer().Call(wire.TypeListTypes, struct{}{}, &resp); err != nil {
+	if err := c.call(context.Background(), wire.TypeListTypes, struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Types, nil
 }
 
-// Status fetches Coordinator load counters.
+// Status fetches the legacy flat Coordinator load counters. New code
+// should prefer StatusV2, which carries the full metrics snapshot.
 func (c *Client) Status() (wire.Status, error) {
 	var resp wire.Status
-	err := c.coordPeer().Call(wire.TypeStatus, struct{}{}, &resp)
+	err := c.call(context.Background(), wire.TypeStatus, struct{}{}, &resp)
+	return resp, err
+}
+
+// StatusV2 fetches the versioned cluster status: the merged metrics
+// snapshot plus per-disk coverage and per-MSU network load.
+func (c *Client) StatusV2() (wire.StatusV2, error) {
+	return c.StatusV2Context(context.Background())
+}
+
+// StatusV2Context is StatusV2 bounded by ctx.
+func (c *Client) StatusV2Context(ctx context.Context) (wire.StatusV2, error) {
+	var resp wire.StatusV2
+	err := c.call(ctx, wire.TypeStatusV2, struct{}{}, &resp)
+	return resp, err
+}
+
+// Events pages through the Coordinator's event timeline. With
+// req.WaitMillis set the Coordinator parks the request until an event
+// past req.Since arrives (long poll), so followers need no busy loop.
+func (c *Client) Events(req wire.EventsRequest) (wire.EventsReply, error) {
+	return c.EventsContext(context.Background(), req)
+}
+
+// EventsContext is Events bounded by ctx.
+func (c *Client) EventsContext(ctx context.Context, req wire.EventsRequest) (wire.EventsReply, error) {
+	var resp wire.EventsReply
+	err := c.call(ctx, wire.TypeEvents, req, &resp)
 	return resp, err
 }
 
 // AddType installs a content type (administrative).
 func (c *Client) AddType(t core.ContentType) error {
-	return c.coordPeer().Call(wire.TypeAddType, wire.AddType{Type: t}, nil)
+	return c.call(context.Background(), wire.TypeAddType, wire.AddType{Type: t}, nil)
 }
 
 // DeleteContent removes a content item (administrative).
 func (c *Client) DeleteContent(name string) error {
-	return c.coordPeer().Call(wire.TypeDeleteContent, wire.DeleteContent{Content: name}, nil)
+	return c.call(context.Background(), wire.TypeDeleteContent, wire.DeleteContent{Content: name}, nil)
 }
 
 // RegisterPort declares an atomic display port: a typed UDP data
@@ -474,7 +545,7 @@ func (c *Client) RegisterCompositePort(name, contentType string, components map[
 }
 
 func (c *Client) registerPort(req wire.RegisterPort) error {
-	if err := c.coordPeer().Call(wire.TypeRegisterPort, req, nil); err != nil {
+	if err := c.call(context.Background(), wire.TypeRegisterPort, req, nil); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -485,7 +556,7 @@ func (c *Client) registerPort(req wire.RegisterPort) error {
 
 // UnregisterPort drops a display port.
 func (c *Client) UnregisterPort(name string) error {
-	if err := c.coordPeer().Call(wire.TypeUnregisterPort, wire.UnregisterPort{Name: name}, nil); err != nil {
+	if err := c.call(context.Background(), wire.TypeUnregisterPort, wire.UnregisterPort{Name: name}, nil); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -499,13 +570,17 @@ func (c *Client) UnregisterPort(name string) error {
 	return nil
 }
 
-// WaitForContent polls the table of contents until name appears —
-// recordings commit asynchronously after Stop, so a client that wants
-// to play what it just recorded waits here first.
-func (c *Client) WaitForContent(name string, timeout time.Duration) (core.ContentInfo, error) {
-	deadline := time.Now().Add(timeout)
+// waitPollInterval spaces the WaitForContent / WaitStreamsIdle polls.
+const waitPollInterval = 10 * time.Millisecond
+
+// WaitForContentContext polls the table of contents until name appears
+// or ctx ends — recordings commit asynchronously after Stop, so a
+// client that wants to play what it just recorded waits here first.
+func (c *Client) WaitForContentContext(ctx context.Context, name string) (core.ContentInfo, error) {
+	t := time.NewTimer(waitPollInterval)
+	defer t.Stop()
 	for {
-		items, err := c.ListContent()
+		items, err := c.ListContentContext(ctx)
 		if err != nil {
 			return core.ContentInfo{}, err
 		}
@@ -514,30 +589,57 @@ func (c *Client) WaitForContent(name string, timeout time.Duration) (core.Conten
 				return it, nil
 			}
 		}
-		if time.Now().After(deadline) {
-			return core.ContentInfo{}, fmt.Errorf("%w: %q not committed after %v", core.ErrNoSuchContent, name, timeout)
+		select {
+		case <-ctx.Done():
+			return core.ContentInfo{}, fmt.Errorf("%w: %q not committed: %v", core.ErrNoSuchContent, name, ctx.Err())
+		case <-t.C:
+			t.Reset(waitPollInterval)
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 
-// WaitStreamsIdle polls until the Coordinator reports no active
-// streams — stream teardown after Quit is asynchronous.
-func (c *Client) WaitStreamsIdle(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+// WaitForContent is WaitForContentContext with a timeout.
+func (c *Client) WaitForContent(name string, timeout time.Duration) (core.ContentInfo, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	info, err := c.WaitForContentContext(ctx, name)
+	if err != nil && ctx.Err() != nil {
+		return core.ContentInfo{}, fmt.Errorf("%w: %q not committed after %v", core.ErrNoSuchContent, name, timeout)
+	}
+	return info, err
+}
+
+// WaitStreamsIdleContext polls until the Coordinator reports no active
+// streams or ctx ends — stream teardown after Quit is asynchronous.
+func (c *Client) WaitStreamsIdleContext(ctx context.Context) error {
+	t := time.NewTimer(waitPollInterval)
+	defer t.Stop()
 	for {
-		st, err := c.Status()
-		if err != nil {
+		var resp wire.Status
+		if err := c.call(ctx, wire.TypeStatus, struct{}{}, &resp); err != nil {
 			return err
 		}
-		if st.ActiveStreams == 0 {
+		if resp.ActiveStreams == 0 {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("calliope: %d streams still active after %v", st.ActiveStreams, timeout)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("calliope: %d streams still active: %v", resp.ActiveStreams, ctx.Err())
+		case <-t.C:
+			t.Reset(waitPollInterval)
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// WaitStreamsIdle is WaitStreamsIdleContext with a timeout.
+func (c *Client) WaitStreamsIdle(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := c.WaitStreamsIdleContext(ctx)
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("calliope: streams still active after %v", timeout)
+	}
+	return err
 }
 
 // Stream is a playback handle with VCR controls.
@@ -548,21 +650,53 @@ type Stream struct {
 	vcr  *vcrState // the original control connection, for Down
 }
 
+// vcrWaitTimeout bounds how long the timeout-flavoured Play and Record
+// wait for the serving MSU's control connection to arrive.
+const vcrWaitTimeout = 10 * time.Second
+
 // Play asks Calliope to deliver content to the named display port. If
-// wait is set the request queues while resources are busy.
+// wait is set the request queues while resources are busy. The request
+// itself waits indefinitely (a queued play admits whenever resources
+// free up); use PlayContext to bound it.
 func (c *Client) Play(content, port string, wait bool) (*Stream, error) {
+	return c.play(context.Background(), content, port, wait, vcrWaitTimeout)
+}
+
+// PlayContext is Play bounded by ctx, covering both the admission
+// round-trip (which with wait set can queue indefinitely) and the wait
+// for the MSU's control connection.
+func (c *Client) PlayContext(ctx context.Context, content, port string, wait bool) (*Stream, error) {
+	return c.play(ctx, content, port, wait, 0)
+}
+
+func (c *Client) play(ctx context.Context, content, port string, wait bool, vcrTimeout time.Duration) (*Stream, error) {
 	var resp wire.PlayOK
-	err := c.coordPeer().Call(wire.TypePlay, wire.Play{
+	err := c.call(ctx, wire.TypePlay, wire.Play{
 		Content: content, Port: port, ControlAddr: c.ControlAddr(), Wait: wait,
 	}, &resp)
 	if err != nil {
 		return nil, err
 	}
-	vcr, err := c.waitVCR(resp.Group, 10*time.Second)
+	vcr, err := c.waitVCRBounded(ctx, resp.Group, vcrTimeout)
 	if err != nil {
 		return nil, err
 	}
 	return &Stream{c: c, info: resp, g: c.group(resp.Group), vcr: vcr}, nil
+}
+
+// waitVCRBounded waits for the group's control connection under ctx,
+// additionally capped at timeout when nonzero.
+func (c *Client) waitVCRBounded(ctx context.Context, group uint64, timeout time.Duration) (*vcrState, error) {
+	if timeout > 0 {
+		bounded, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		st, err := c.waitVCRContext(bounded, group)
+		if err != nil && ctx.Err() == nil {
+			return nil, fmt.Errorf("client: no control connection for group %d after %v", group, timeout)
+		}
+		return st, err
+	}
+	return c.waitVCRContext(ctx, group)
 }
 
 // Info reports the scheduling result.
@@ -644,15 +778,24 @@ type Recording struct {
 // media. estimate is the client's recording-length estimate, from
 // which the Coordinator reserves disk space.
 func (c *Client) Record(content, contentType, port string, estimate time.Duration, wait bool) (*Recording, error) {
+	return c.record(context.Background(), content, contentType, port, estimate, wait, vcrWaitTimeout)
+}
+
+// RecordContext is Record bounded by ctx.
+func (c *Client) RecordContext(ctx context.Context, content, contentType, port string, estimate time.Duration, wait bool) (*Recording, error) {
+	return c.record(ctx, content, contentType, port, estimate, wait, 0)
+}
+
+func (c *Client) record(ctx context.Context, content, contentType, port string, estimate time.Duration, wait bool, vcrTimeout time.Duration) (*Recording, error) {
 	var resp wire.RecordOK
-	err := c.coordPeer().Call(wire.TypeRecord, wire.Record{
+	err := c.call(ctx, wire.TypeRecord, wire.Record{
 		Content: content, Type: contentType, Port: port,
 		Estimate: estimate, ControlAddr: c.ControlAddr(), Wait: wait,
 	}, &resp)
 	if err != nil {
 		return nil, err
 	}
-	vcr, err := c.waitVCR(resp.Group, 10*time.Second)
+	vcr, err := c.waitVCRBounded(ctx, resp.Group, vcrTimeout)
 	if err != nil {
 		return nil, err
 	}

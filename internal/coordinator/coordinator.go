@@ -34,9 +34,9 @@ import (
 
 	"calliope/internal/admindb"
 	"calliope/internal/core"
+	"calliope/internal/obs"
 	"calliope/internal/schedule"
 	"calliope/internal/trace"
-	"calliope/internal/units"
 	"calliope/internal/wire"
 )
 
@@ -118,6 +118,13 @@ type Coordinator struct {
 	// so one space-pressure report cannot plan the same drop twice.
 	dereplicating map[string]bool
 	replStats     trace.ReplStats
+	// obs is the cluster metrics registry and event timeline (DESIGN.md
+	// §3i); om holds the pre-registered admission-path handles.
+	obs *obs.Registry
+	om  coordMetrics
+	// queuedPlays counts play requests currently parked on the pending
+	// queue (the queued_plays gauge).
+	queuedPlays int
 
 	nextSession core.SessionID
 	nextStream  core.StreamID
@@ -220,6 +227,10 @@ type msuState struct {
 	// peer MSUs pull content copies from; empty when not advertised.
 	transferAddr string
 	disks        []*diskState
+	// lastObs is the MSU's last cumulative metrics snapshot; cacheReport
+	// merges only the delta since it into the cluster registry, so lost
+	// reports and MSU restarts never double-count.
+	lastObs obs.Snapshot
 	// net is the MSU's NIC delivery budget. Every play stream reserves
 	// from it; warmly cached plays reserve ONLY from it, so the RAM
 	// cache multiplies capacity past the disks' duty-cycle limit.
@@ -237,6 +248,10 @@ type diskState struct {
 	coverage map[string]wire.ContentCoverage
 	// io mirrors the disk's I/O-scheduler counters from the last report.
 	io trace.IOSchedStats
+	// lastHitPct is the cache hit percentage last published to the event
+	// timeline (-1 before the first report); a move of cacheRatioStep
+	// points earns a new cache-ratio event.
+	lastHitPct int
 }
 
 // warm reports whether a content is warmly cached on this disk — at
@@ -300,6 +315,8 @@ func New(cfg Config) (*Coordinator, error) {
 		dereplicating: make(map[string]bool),
 		release:       make(chan struct{}),
 	}
+	c.obs = obs.New(obs.Options{Now: cfg.Now})
+	c.om = newCoordMetrics(c.obs)
 	for _, t := range cfg.Types {
 		t := t
 		if err := t.Validate(); err != nil {
@@ -557,6 +574,14 @@ func (ctx *connCtx) handle(msgType string, body json.RawMessage) (any, error) {
 		return c.listTypes(), nil
 	case wire.TypeStatus:
 		return c.status(), nil
+	case wire.TypeStatusV2:
+		return c.statusV2(), nil
+	case wire.TypeEvents:
+		var req wire.EventsRequest
+		if err := decode(&req); err != nil {
+			return nil, err
+		}
+		return ctx.events(req)
 	case wire.TypeRegisterPort:
 		var req wire.RegisterPort
 		if err := decode(&req); err != nil {
@@ -641,6 +666,13 @@ func (ctx *connCtx) handle(msgType string, body json.RawMessage) (any, error) {
 // customer database.
 func (ctx *connCtx) hello(req wire.Hello) (*wire.Welcome, error) {
 	c := ctx.c
+	// A peer that predates protocol versioning sends 0 and is admitted
+	// as-is; an explicitly versioned peer must match exactly, and the
+	// error names both sides so the operator knows which end to upgrade.
+	if req.ProtoVersion != 0 && req.ProtoVersion != wire.ProtoVersion {
+		return nil, fmt.Errorf("%w: client speaks protocol v%d, coordinator speaks v%d; upgrade the older side",
+			core.ErrBadRequest, req.ProtoVersion, wire.ProtoVersion)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -729,56 +761,12 @@ func (c *Coordinator) listTypes() *wire.TypeList {
 	return out
 }
 
+// status answers the legacy TypeStatus request. The v2 snapshot is the
+// source of truth; the compatibility shim reconstructs the old scalar
+// grab-bag from its named gauges and counters.
 func (c *Coordinator) status() *wire.Status {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := &wire.Status{
-		MSUs:           len(c.msus),
-		ActiveStreams:  len(c.active),
-		Contents:       len(c.contents),
-		Sessions:       len(c.sessions),
-		LostRecordings: c.lostRecordings,
-		Requests:       c.requests,
-		Repl:           c.replStats,
-	}
-	for _, m := range c.msus {
-		if m.alive {
-			st.MSUsAvailable++
-		}
-		if m.net != nil {
-			st.Net = append(st.Net, wire.NetUsage{
-				MSU:   m.id,
-				Alive: m.alive,
-				Used:  units.BitRate(m.net.Reserved()),
-				Cap:   units.BitRate(m.net.Capacity()),
-			})
-		}
-		for i, d := range m.disks {
-			du := wire.DiskUsage{
-				Disk:          core.DiskID{MSU: m.id, N: i},
-				Alive:         m.alive,
-				BandwidthUsed: units.BitRate(d.bw.Reserved()),
-				BandwidthCap:  units.BitRate(d.bw.Capacity()),
-				SpaceUsed:     units.ByteSize((d.space.Reserved() + d.space.Standing()) * int64(d.blockSize)),
-				SpaceCap:      units.ByteSize(d.space.Capacity() * int64(d.blockSize)),
-				Cache:         d.cache,
-				IO:            d.io,
-			}
-			for _, cov := range d.coverage {
-				du.Cached = append(du.Cached, cov)
-			}
-			sort.Slice(du.Cached, func(a, b int) bool { return du.Cached[a].Name < du.Cached[b].Name })
-			st.Disks = append(st.Disks, du)
-		}
-	}
-	sort.Slice(st.Disks, func(i, j int) bool {
-		if st.Disks[i].Disk.MSU != st.Disks[j].Disk.MSU {
-			return st.Disks[i].Disk.MSU < st.Disks[j].Disk.MSU
-		}
-		return st.Disks[i].Disk.N < st.Disks[j].Disk.N
-	})
-	sort.Slice(st.Net, func(i, j int) bool { return st.Net[i].MSU < st.Net[j].MSU })
-	return st
+	st := c.statusV2().Legacy()
+	return &st
 }
 
 // cacheReport records one disk's advertised cache heat and wakes the
@@ -804,6 +792,25 @@ func (ctx *connCtx) cacheReport(req wire.CacheReport) {
 	for _, cov := range req.Coverage {
 		d.coverage[cov.Name] = cov
 	}
+	// The report carries the MSU's cumulative metrics snapshot; merge
+	// only the movement since the last one so a re-sent report cannot
+	// double-count (Sub's restart rule absorbs an MSU whose counters
+	// reset).
+	if req.Obs != nil {
+		delta := req.Obs.Sub(m.lastObs)
+		m.lastObs = req.Obs.Clone()
+		if !delta.Empty() {
+			c.obs.Merge(delta)
+		}
+	}
+	if lookups := req.Stats.Hits + req.Stats.Misses; lookups > 0 {
+		pct := int(req.Stats.Hits * 100 / lookups)
+		if was := d.lastHitPct; was < 0 || pct-was >= cacheRatioStep || was-pct >= cacheRatioStep {
+			d.lastHitPct = pct
+			c.event(obs.Event{Kind: obs.EvCacheRatio, MSU: string(m.id), Disk: req.Disk,
+				Detail: fmt.Sprintf("hit ratio %d%%", pct)})
+		}
+	}
 	// The report doubles as the replication policy's sensor input: hot
 	// titles under a loaded disk earn a second home, and a disk low on
 	// space sheds a cold extra copy.
@@ -811,6 +818,10 @@ func (ctx *connCtx) cacheReport(req wire.CacheReport) {
 	c.dropColdReplicaLocked(m, req.Disk)
 	c.signalRelease()
 }
+
+// cacheRatioStep is the hit-percentage movement that earns a disk a new
+// cache-ratio event on the timeline.
+const cacheRatioStep = 10
 
 // addType installs a content type (administrative).
 func (c *Coordinator) addType(t core.ContentType) error {

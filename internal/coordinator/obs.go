@@ -1,0 +1,220 @@
+package coordinator
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"calliope/internal/core"
+	"calliope/internal/obs"
+	"calliope/internal/units"
+	"calliope/internal/wire"
+)
+
+// Observability (DESIGN.md §3i). The Coordinator owns the cluster's
+// metrics registry and event timeline: its own admission/recovery/
+// replication instruments live here, and every MSU's delivery counters
+// arrive as snapshot deltas piggybacked on cache reports (cacheReport
+// merges them). Scalars that already exist as authoritative state —
+// session counts, ledger totals, replication stats — are overlaid at
+// snapshot time rather than double-booked as live gauges.
+
+// coordMetrics holds the Coordinator's pre-registered handles so the
+// admission path never does a name lookup.
+type coordMetrics struct {
+	admitted   *obs.Counter   // admission_admitted_total
+	dispatched *obs.Counter   // dispatch_total (streams started, group members counted singly)
+	queued     *obs.Counter   // admission_queued_total
+	rejected   *obs.Counter   // admission_rejected_total
+	migrations *obs.Counter   // migrations_total (groups re-dispatched)
+	lost       *obs.Counter   // groups_lost_total
+	ended      *obs.Counter   // streams_ended_total
+	records    *obs.Counter   // records_started_total
+	queueWait  *obs.Histogram // queue_wait_seconds (Wait-ing plays only)
+}
+
+func newCoordMetrics(r *obs.Registry) coordMetrics {
+	return coordMetrics{
+		admitted:   r.Counter("admission_admitted_total"),
+		dispatched: r.Counter("dispatch_total"),
+		queued:     r.Counter("admission_queued_total"),
+		rejected:   r.Counter("admission_rejected_total"),
+		migrations: r.Counter("migrations_total"),
+		lost:       r.Counter("groups_lost_total"),
+		ended:      r.Counter("streams_ended_total"),
+		records:    r.Counter("records_started_total"),
+		queueWait:  r.Histogram("queue_wait_seconds", obs.DefaultLatencyBuckets),
+	}
+}
+
+// event appends one entry to the timeline. Safe with or without c.mu
+// held — the ring has its own leaf lock.
+func (c *Coordinator) event(ev obs.Event) {
+	c.obs.Events().Append(ev)
+}
+
+// ObsSnapshot flattens the cluster's metrics: the registry's counters
+// and histograms (Coordinator instruments plus merged MSU deltas),
+// overlaid with the authoritative live gauges derived from scheduler
+// state under c.mu.
+func (c *Coordinator) ObsSnapshot() obs.Snapshot {
+	s := c.obs.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.overlayLocked(&s)
+	return s
+}
+
+// overlayLocked writes the derived gauges and counters into s. Callers
+// hold c.mu.
+func (c *Coordinator) overlayLocked(s *obs.Snapshot) {
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	available := 0
+	for _, m := range c.msus {
+		if m.alive {
+			available++
+		}
+	}
+	s.Gauges[wire.GaugeMSUs] = int64(len(c.msus))
+	s.Gauges[wire.GaugeMSUsAvailable] = int64(available)
+	s.Gauges[wire.GaugeActiveStreams] = int64(len(c.active))
+	s.Gauges[wire.GaugeQueuedPlays] = int64(c.queuedPlays)
+	s.Gauges[wire.GaugeContents] = int64(len(c.contents))
+	s.Gauges[wire.GaugeSessions] = int64(len(c.sessions))
+	s.Gauges[wire.GaugeLostRecs] = int64(c.lostRecordings)
+	s.Gauges[wire.GaugeReplActive] = c.replStats.Active
+	s.Counters[wire.CounterRequests] = c.requests
+	s.Counters[wire.CounterReplPlanned] = c.replStats.Planned
+	s.Counters[wire.CounterReplDone] = c.replStats.Completed
+	s.Counters[wire.CounterReplAborted] = c.replStats.Aborted
+	s.Counters[wire.CounterReplDropped] = c.replStats.Dropped
+	s.Counters[wire.CounterReplBytes] = c.replStats.BytesCopied
+}
+
+// statusV2 answers TypeStatusV2: the snapshot plus the structured
+// per-disk and per-NIC ledger detail.
+func (c *Coordinator) statusV2() *wire.StatusV2 {
+	s := c.obs.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.overlayLocked(&s)
+	st := &wire.StatusV2{Version: wire.ProtoVersion, Snapshot: s}
+	for _, m := range c.msus {
+		if m.net != nil {
+			st.Net = append(st.Net, wire.NetUsage{
+				MSU:   m.id,
+				Alive: m.alive,
+				Used:  units.BitRate(m.net.Reserved()),
+				Cap:   units.BitRate(m.net.Capacity()),
+			})
+		}
+		for i, d := range m.disks {
+			du := wire.DiskUsage{
+				Disk:          core.DiskID{MSU: m.id, N: i},
+				Alive:         m.alive,
+				BandwidthUsed: units.BitRate(d.bw.Reserved()),
+				BandwidthCap:  units.BitRate(d.bw.Capacity()),
+				SpaceUsed:     units.ByteSize((d.space.Reserved() + d.space.Standing()) * int64(d.blockSize)),
+				SpaceCap:      units.ByteSize(d.space.Capacity() * int64(d.blockSize)),
+				Cache:         d.cache,
+				IO:            d.io,
+			}
+			for _, cov := range d.coverage {
+				du.Cached = append(du.Cached, cov)
+			}
+			sortCoverage(du.Cached)
+			st.Disks = append(st.Disks, du)
+		}
+	}
+	sortDiskUsage(st.Disks)
+	sortNetUsage(st.Net)
+	return st
+}
+
+func sortCoverage(c []wire.ContentCoverage) {
+	sort.Slice(c, func(a, b int) bool { return c[a].Name < c[b].Name })
+}
+
+func sortDiskUsage(d []wire.DiskUsage) {
+	sort.Slice(d, func(i, j int) bool {
+		if d[i].Disk.MSU != d[j].Disk.MSU {
+			return d[i].Disk.MSU < d[j].Disk.MSU
+		}
+		return d[i].Disk.N < d[j].Disk.N
+	})
+}
+
+func sortNetUsage(n []wire.NetUsage) {
+	sort.Slice(n, func(i, j int) bool { return n[i].MSU < n[j].MSU })
+}
+
+// sessionID reports the connection's session for event stamping (0
+// when the connection has not said hello).
+func (ctx *connCtx) sessionID() uint64 {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.session == nil {
+		return 0
+	}
+	return uint64(ctx.session.id)
+}
+
+// Events pages through the Coordinator's event timeline (the HTTP
+// /events endpoint and the TypeEvents RPC share it).
+func (c *Coordinator) Events(since, stream uint64, max int) ([]obs.Event, uint64) {
+	return c.obs.Events().Since(since, stream, max)
+}
+
+// HTTPHandler serves the opt-in observability endpoint: Prometheus
+// metrics at /metrics, the JSON event tail at /events, and pprof under
+// /debug/pprof/ (wired by cmd/coordinator's -http flag; the root
+// lifecycle test mounts it on a test server).
+func (c *Coordinator) HTTPHandler() http.Handler {
+	return obs.NewHTTPHandler(c.ObsSnapshot, c.Events)
+}
+
+// maxEventsWait bounds a long-poll so an abandoned follower cannot park
+// its request goroutine forever.
+const maxEventsWait = 30 * time.Second
+
+// events answers the TypeEvents RPC. With WaitMillis set and nothing
+// newer than Since, the request parks until an event lands or the wait
+// expires — requests run in their own goroutines (wire.Peer), so a
+// parked follower blocks nobody.
+func (ctx *connCtx) events(req wire.EventsRequest) (*wire.EventsReply, error) {
+	c := ctx.c
+	ring := c.obs.Events()
+	evs, next := ring.Since(req.Since, req.Stream, req.Max)
+	if len(evs) == 0 && req.WaitMillis > 0 {
+		wait := time.Duration(req.WaitMillis) * time.Millisecond
+		if wait > maxEventsWait {
+			wait = maxEventsWait
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+	poll:
+		for len(evs) == 0 {
+			ch := ring.Updated()
+			// Re-check after arming the wait: an append between the
+			// first Since and Updated must not be missed.
+			evs, next = ring.Since(req.Since, req.Stream, req.Max)
+			if len(evs) > 0 {
+				break
+			}
+			select {
+			case <-ch:
+			case <-t.C:
+				break poll
+			}
+		}
+	}
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	return &wire.EventsReply{Events: evs, Next: next}, nil
+}

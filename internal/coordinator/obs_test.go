@@ -1,0 +1,168 @@
+package coordinator
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"calliope/internal/obs"
+	"calliope/internal/units"
+	"calliope/internal/wire"
+)
+
+// A client or MSU announcing an explicit protocol revision other than
+// ours must be turned away with an error naming both versions; a
+// legacy peer omitting the field (version 0) is still accepted.
+func TestProtoVersionMismatch(t *testing.T) {
+	c := startCoordinator(t, Config{})
+
+	p := dialPeer(t, c, nil)
+	err := p.Call(wire.TypeHello, wire.Hello{User: "t", ProtoVersion: 1}, nil)
+	if err == nil || !strings.Contains(err.Error(), "protocol v1") {
+		t.Fatalf("v1 client hello: %v", err)
+	}
+
+	p2 := dialPeer(t, c, nil)
+	hello := wire.MSUHello{ID: "m1", ProtoVersion: 1, Disks: []wire.DiskInfo{{BlockSize: 64, TotalBlocks: 10}}}
+	err = p2.Call(wire.TypeMSUHello, hello, nil)
+	if err == nil || !strings.Contains(err.Error(), "protocol v1") {
+		t.Fatalf("v1 MSU hello: %v", err)
+	}
+
+	// Legacy peers (no ProtoVersion field) and current peers both pass.
+	p3 := dialPeer(t, c, nil)
+	if err := p3.Call(wire.TypeHello, wire.Hello{User: "t"}, &wire.Welcome{}); err != nil {
+		t.Fatalf("legacy hello rejected: %v", err)
+	}
+	p4 := dialPeer(t, c, nil)
+	if err := p4.Call(wire.TypeHello, wire.Hello{User: "t", ProtoVersion: wire.ProtoVersion}, &wire.Welcome{}); err != nil {
+		t.Fatalf("current hello rejected: %v", err)
+	}
+}
+
+// StatusV2 must carry the overlaid scheduler gauges and admission
+// counters, and its Legacy() view must agree with the old TypeStatus
+// answer.
+func TestStatusV2SnapshotAndLegacyAgree(t *testing.T) {
+	c := startCoordinator(t, Config{})
+	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1", Length: time.Minute, Size: 10 * units.MB}}
+	fakeMSUPeer(t, c, "m1", decl, 3000*units.Kbps)
+	p := clientPeer(t, c)
+	if err := p.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "127.0.0.1:9"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "127.0.0.1:9"}, &wire.PlayOK{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var v2 wire.StatusV2
+	if err := p.Call(wire.TypeStatusV2, struct{}{}, &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version != wire.ProtoVersion {
+		t.Fatalf("version = %d, want %d", v2.Version, wire.ProtoVersion)
+	}
+	s := v2.Snapshot
+	if s.Gauge(wire.GaugeMSUs) != 1 || s.Gauge(wire.GaugeActiveStreams) != 1 || s.Gauge(wire.GaugeSessions) != 1 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if s.Counter("admission_admitted_total") != 1 || s.Counter("dispatch_total") != 1 {
+		t.Fatalf("admission counters = %+v", s.Counters)
+	}
+
+	var legacy wire.Status
+	if err := p.Call(wire.TypeStatus, struct{}{}, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	want := v2.Legacy()
+	if legacy.MSUs != want.MSUs || legacy.ActiveStreams != want.ActiveStreams ||
+		legacy.Contents != want.Contents || legacy.Sessions != want.Sessions {
+		t.Fatalf("legacy status %+v disagrees with StatusV2.Legacy() %+v", legacy, want)
+	}
+}
+
+// The events RPC must page the timeline in order, filter by stream,
+// and long-poll until a new event arrives.
+func TestEventsRPC(t *testing.T) {
+	c := startCoordinator(t, Config{})
+	decl := []wire.ContentDecl{{Name: "movie", Type: "mpeg1", Length: time.Minute, Size: 10 * units.MB}}
+	fakeMSUPeer(t, c, "m1", decl, 3000*units.Kbps)
+	p := clientPeer(t, c)
+	if err := p.Call(wire.TypeRegisterPort, wire.RegisterPort{Name: "tv", Type: "mpeg1", Addr: "127.0.0.1:9"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ok wire.PlayOK
+	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "127.0.0.1:9"}, &ok); err != nil {
+		t.Fatal(err)
+	}
+
+	var rep wire.EventsReply
+	if err := p.Call(wire.TypeEvents, wire.EventsRequest{}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	last := uint64(0)
+	for _, ev := range rep.Events {
+		if ev.Seq <= last {
+			t.Fatalf("events out of order: %+v", rep.Events)
+		}
+		last = ev.Seq
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.EvMSUUp] != 1 || kinds[obs.EvAdmit] != 1 || kinds[obs.EvDispatch] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if rep.Next != last {
+		t.Fatalf("next = %d, want %d", rep.Next, last)
+	}
+
+	// Stream filter: only the dispatch names the stream.
+	var filtered wire.EventsReply
+	if err := p.Call(wire.TypeEvents, wire.EventsRequest{Stream: uint64(ok.Streams[0].Stream)}, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range filtered.Events {
+		if ev.Stream != uint64(ok.Streams[0].Stream) {
+			t.Fatalf("filter leaked %+v", ev)
+		}
+	}
+	if len(filtered.Events) == 0 {
+		t.Fatal("stream filter returned nothing")
+	}
+
+	// Long poll: a request past the end parks until the next event.
+	type pollResult struct {
+		rep wire.EventsReply
+		err error
+	}
+	got := make(chan pollResult, 1)
+	go func() {
+		var r wire.EventsReply
+		err := p.Call(wire.TypeEvents, wire.EventsRequest{Since: rep.Next, WaitMillis: 5000}, &r)
+		got <- pollResult{r, err}
+	}()
+	select {
+	case r := <-got:
+		t.Fatalf("long poll returned early: %+v %v", r.rep, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := p.Call(wire.TypePlay, wire.Play{Content: "movie", Port: "tv", ControlAddr: "127.0.0.1:9"}, &wire.PlayOK{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.rep.Events) == 0 {
+			t.Fatal("long poll woke with no events")
+		}
+		for _, ev := range r.rep.Events {
+			if ev.Seq <= rep.Next {
+				t.Fatalf("long poll replayed old event %+v", ev)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll missed the wakeup")
+	}
+}

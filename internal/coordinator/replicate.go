@@ -6,6 +6,7 @@ import (
 
 	"calliope/internal/admindb"
 	"calliope/internal/core"
+	"calliope/internal/obs"
 	"calliope/internal/units"
 	"calliope/internal/wire"
 )
@@ -222,6 +223,8 @@ func (c *Coordinator) planReplicationLocked(rec *contentRec) {
 	}
 	peer := dstM.peer
 	c.logf("replicating %q: %s → %s disk %d at %v", name, srcID, dstM.id, dstDisk, units.BitRate(want))
+	c.event(obs.Event{Kind: obs.EvReplPlan, MSU: string(dstM.id), Disk: dstDisk, Content: name,
+		Detail: fmt.Sprintf("from %s at %v", srcID, units.BitRate(want))})
 	c.wg.Add(1) // under c.mu: Close sets closed before waiting
 	go func() {
 		defer c.wg.Done()
@@ -233,6 +236,8 @@ func (c *Coordinator) planReplicationLocked(rec *contentRec) {
 				delete(c.replications, r.id)
 				c.replStats.Active--
 				c.replStats.Aborted++
+				c.event(obs.Event{Kind: obs.EvReplAbort, MSU: string(r.dst), Disk: r.dstDisk,
+					Content: name, Detail: "transfer order failed"})
 				c.signalRelease()
 			}
 			c.mu.Unlock()
@@ -378,6 +383,8 @@ func (c *Coordinator) preemptReplicationsLocked(m *msuState, d *diskState, need 
 			aborts = append(aborts, replAbort{peer: r.dstM.peer, id: r.id})
 		}
 		c.logf("replication %d (%q) preempted by a play on %s", r.id, r.content, m.id)
+		c.event(obs.Event{Kind: obs.EvReplAbort, MSU: string(r.dst), Disk: r.dstDisk,
+			Content: r.content, Detail: "preempted by a play"})
 	}
 	return aborts, true
 }
@@ -397,6 +404,8 @@ func (c *Coordinator) abortReplicationsLocked(match func(*replication) bool) []r
 		if r.dstM.peer != nil && r.dstM.alive {
 			aborts = append(aborts, replAbort{peer: r.dstM.peer, id: r.id})
 		}
+		c.event(obs.Event{Kind: obs.EvReplAbort, MSU: string(r.dst), Disk: r.dstDisk,
+			Content: r.content, Detail: "endpoint failed or content deleted"})
 	}
 	return aborts
 }
@@ -459,6 +468,8 @@ func (ctx *connCtx) replicateDone(req wire.ReplicateDone) error {
 	d.space.AddStanding(blocks) //nolint:errcheck
 	c.replStats.Completed++
 	c.replStats.BytesCopied += req.Bytes
+	c.event(obs.Event{Kind: obs.EvReplCommit, MSU: string(m.id), Disk: req.Disk,
+		Content: req.Content, Detail: fmt.Sprintf("%d bytes", req.Bytes)})
 	if r == nil {
 		c.logf("replica of %q on %v committed across a restart (transfer %d unknown)", req.Content, loc, req.ID)
 	} else {
@@ -482,6 +493,8 @@ func (ctx *connCtx) replicateFailed(req wire.ReplicateFailed) {
 	c.replStats.Active--
 	c.replStats.Aborted++
 	c.logf("replication %d (%q) failed on %s: %s", req.ID, req.Content, r.dst, req.Reason)
+	c.event(obs.Event{Kind: obs.EvReplAbort, MSU: string(r.dst), Disk: r.dstDisk,
+		Content: req.Content, Detail: req.Reason})
 	c.signalRelease()
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"calliope/internal/admindb"
 	"calliope/internal/core"
+	"calliope/internal/obs"
 	"calliope/internal/schedule"
 	"calliope/internal/units"
 	"calliope/internal/wire"
@@ -32,6 +33,11 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 	if req.ID == "" {
 		return nil, fmt.Errorf("%w: MSU has no id", core.ErrBadRequest)
 	}
+	if req.ProtoVersion != 0 && req.ProtoVersion != wire.ProtoVersion {
+		// 0 is a peer that predates versioning; anything else must match.
+		return nil, fmt.Errorf("%w: MSU %q speaks protocol v%d, coordinator speaks v%d; upgrade the older side",
+			core.ErrBadRequest, req.ID, req.ProtoVersion, wire.ProtoVersion)
+	}
 	c := ctx.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -49,7 +55,14 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 	if m != nil && m.alive {
 		return nil, fmt.Errorf("%w: MSU %q already registered", core.ErrDuplicateName, req.ID)
 	}
+	prev := m
 	m = &msuState{id: req.ID, peer: ctx.peer, alive: true, transferAddr: req.TransferAddr}
+	if prev != nil {
+		// Carry the metrics baseline across the reconnect so the MSU's
+		// next cumulative report is diffed against what was already
+		// merged, not re-merged from zero.
+		m.lastObs = prev.lastObs
+	}
 	declared := make(map[string]bool)
 	var muts []admindb.Mutation
 	for i, di := range req.Disks {
@@ -73,7 +86,7 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 		if err := space.SetStanding(di.TotalBlocks - di.FreeBlocks); err != nil {
 			return nil, fmt.Errorf("%w: disk %d free/total mismatch", core.ErrBadRequest, i)
 		}
-		m.disks = append(m.disks, &diskState{blockSize: di.BlockSize, bw: bw, space: space})
+		m.disks = append(m.disks, &diskState{blockSize: di.BlockSize, bw: bw, space: space, lastHitPct: -1})
 		for _, decl := range di.Contents {
 			declared[decl.Name] = true
 			rec := c.contents[decl.Name]
@@ -142,6 +155,8 @@ func (ctx *connCtx) msuHello(req wire.MSUHello) (*wire.MSUWelcome, error) {
 	ctx.msu = m
 	ctx.mu.Unlock()
 	c.logf("MSU %q registered with %d disks", req.ID, len(m.disks))
+	c.event(obs.Event{Kind: obs.EvMSUUp, MSU: string(req.ID), Disk: -1,
+		Detail: fmt.Sprintf("%d disks", len(m.disks))})
 	c.signalRelease()
 	return &wire.MSUWelcome{}, nil
 }
@@ -216,6 +231,8 @@ func (c *Coordinator) msuDown(m *msuState) {
 		}
 	}
 	c.logf("MSU %q down (%d stream groups orphaned)", m.id, len(groups))
+	c.event(obs.Event{Kind: obs.EvMSUDown, MSU: string(m.id), Disk: -1,
+		Detail: fmt.Sprintf("%d stream groups orphaned", len(groups))})
 	var lost, moved []*failedGroup
 	var settle []admindb.Mutation
 	for _, g := range groups {
@@ -462,6 +479,11 @@ func (c *Coordinator) tryRedispatch(g *failedGroup) (done, retry bool, reason st
 		speer.Notify(wire.TypeStreamMigrated, note) //nolint:errcheck // the session may be dying; nothing more to do
 	}
 	c.logf("group %d re-dispatched to MSU %q", g.id, m.id)
+	c.om.migrations.Inc()
+	for _, a := range g.streams {
+		c.event(obs.Event{Kind: obs.EvMigrate, Session: uint64(g.session), Group: g.id,
+			Stream: uint64(a.id), MSU: string(m.id), Disk: a.disk, Content: a.content})
+	}
 	return true, false, ""
 }
 
@@ -477,6 +499,8 @@ func (c *Coordinator) notifyGroupLost(sess core.SessionID, group uint64, reason 
 		peer.Notify(wire.TypeStreamLost, wire.StreamLost{Group: group, Reason: reason}) //nolint:errcheck
 	}
 	c.logf("group %d lost: %s", group, reason)
+	c.om.lost.Inc()
+	c.event(obs.Event{Kind: obs.EvLost, Session: uint64(sess), Group: group, Disk: -1, Detail: reason})
 }
 
 // playCandidate is one feasible placement for a play group: a live MSU
@@ -585,6 +609,10 @@ func (c *Coordinator) streamEnded(req wire.StreamEnded) {
 		c.settleRecordGroupLocked(a.group)
 	}
 	c.logf("stream %d ended (%s)", req.Stream, req.Cause)
+	c.om.ended.Inc()
+	c.event(obs.Event{Kind: obs.EvEOF, Session: uint64(a.session), Group: a.group,
+		Stream: uint64(req.Stream), MSU: string(a.msu), Disk: a.disk,
+		Content: a.content, Detail: req.Cause})
 	c.signalRelease()
 }
 
@@ -855,20 +883,42 @@ func portForType(s *session, port *core.DisplayPort, atomicType string) (data, c
 // play schedules playback. With req.Wait it retries while resources
 // are busy, up to QueueTimeout (§2.2: queued requests).
 func (ctx *connCtx) play(req wire.Play) (*wire.PlayOK, error) {
-	deadline := ctx.c.cfg.Now().Add(ctx.c.cfg.QueueTimeout)
+	c := ctx.c
+	start := c.cfg.Now()
+	deadline := start.Add(c.cfg.QueueTimeout)
+	queued := false
+	defer func() {
+		if queued {
+			c.mu.Lock()
+			c.queuedPlays--
+			c.mu.Unlock()
+		}
+	}()
 	for {
 		resp, retry, err := ctx.tryPlay(req)
 		if err == nil {
+			if queued {
+				c.om.queueWait.Observe(c.cfg.Now().Sub(start))
+			}
 			return resp, nil
 		}
 		if !req.Wait || !retry {
+			c.om.rejected.Inc()
 			return nil, err
 		}
-		ctx.c.mu.Lock()
-		ch := ctx.c.release
-		ctx.c.mu.Unlock()
-		remain := deadline.Sub(ctx.c.cfg.Now())
+		c.mu.Lock()
+		if !queued {
+			queued = true
+			c.queuedPlays++
+			c.om.queued.Inc()
+			c.event(obs.Event{Kind: obs.EvQueue, Session: ctx.sessionID(),
+				Content: req.Content, Disk: -1, Detail: err.Error()})
+		}
+		ch := c.release
+		c.mu.Unlock()
+		remain := deadline.Sub(c.cfg.Now())
 		if remain <= 0 {
+			c.om.rejected.Inc()
 			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
 		}
 		t := time.NewTimer(remain)
@@ -876,6 +926,7 @@ func (ctx *connCtx) play(req wire.Play) (*wire.PlayOK, error) {
 		case <-ch:
 			t.Stop()
 		case <-t.C:
+			c.om.rejected.Inc()
 			return nil, fmt.Errorf("%w: queued past deadline", core.ErrNoResources)
 		}
 	}
@@ -1056,6 +1107,15 @@ func (ctx *connCtx) tryPlay(req wire.Play) (resp *wire.PlayOK, retry bool, err e
 		rollback()
 		c.mu.Unlock()
 		return nil, false, fmt.Errorf("coordinator: starting stream on %q: %w", m.id, callErr)
+	}
+
+	c.om.admitted.Inc()
+	c.om.dispatched.Add(int64(len(planned)))
+	c.event(obs.Event{Kind: obs.EvAdmit, Session: uint64(s.id), Group: group,
+		MSU: string(m.id), Content: req.Content, Disk: -1})
+	for _, p := range planned {
+		c.event(obs.Event{Kind: obs.EvDispatch, Session: uint64(s.id), Group: group,
+			Stream: uint64(p.spec.Stream), MSU: string(m.id), Disk: p.spec.Disk, Content: p.spec.Content})
 	}
 
 	out := &wire.PlayOK{Group: group, MSU: m.id, Length: parent.info.Length, Size: parent.info.Size}
@@ -1326,6 +1386,7 @@ func (ctx *connCtx) tryRecord(req wire.Record) (resp *wire.RecordOK, retry bool,
 		c.pending[group] = &pendingComposite{parent: req.Content, typ: req.Type, waiting: compWaiting}
 		c.mu.Unlock()
 	}
+	c.om.records.Inc()
 	return out, false, nil
 }
 

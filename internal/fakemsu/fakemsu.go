@@ -74,7 +74,8 @@ func Start(coordinator string, id core.MSUID, contentType string, delay time.Dur
 	cc := &countingConn{Conn: conn, bytes: bytes}
 	f.peer = wire.NewPeer(cc, f.handle, nil)
 	hello := wire.MSUHello{
-		ID: id,
+		ID:           id,
+		ProtoVersion: wire.ProtoVersion,
 		Disks: []wire.DiskInfo{{
 			BlockSize:   int(256 * units.KB),
 			TotalBlocks: 1 << 30,

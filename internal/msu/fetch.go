@@ -132,6 +132,11 @@ func (f *fetcher) nextPage(cur *ibtree.PageCursor, want int64) (*queue.PageRef, 
 		}
 		return nil, aerr
 	}
+	if hit {
+		p.s.m.obs.cacheHits.Inc()
+	} else {
+		p.s.m.obs.pagesRead.Inc()
+	}
 	if insert {
 		p.cache.Insert(p.cname, want, page)
 	}

@@ -29,6 +29,7 @@ import (
 	"calliope/internal/ibtree"
 	"calliope/internal/iosched"
 	"calliope/internal/msufs"
+	"calliope/internal/obs"
 	"calliope/internal/protocol"
 	"calliope/internal/queue"
 	"calliope/internal/trace"
@@ -128,6 +129,9 @@ type MSU struct {
 	// storeVols lists the member volumes behind each logical disk,
 	// indexed like stores, for per-disk scheduler stat aggregation.
 	storeVols [][]*msufs.Volume
+	// obs holds the MSU's metrics handles (obs.go); zero-valued (all
+	// nil, every update a no-op) on an MSU not built by New.
+	obs msuMetrics
 
 	mu      sync.Mutex
 	peer    *wire.Peer
@@ -196,6 +200,7 @@ func New(cfg Config) (*MSU, error) {
 		groups:    make(map[uint64]*group),
 		quit:      make(chan struct{}),
 	}
+	m.obs = newMSUMetrics(obs.New(obs.Options{Now: time.Now}))
 	if !cfg.DirectIO {
 		m.scheds = make(map[*msufs.Volume]*iosched.Scheduler, len(cfg.Volumes))
 		for _, v := range cfg.Volumes {
@@ -270,6 +275,12 @@ func (m *MSU) reportCache(disk int) {
 		return
 	}
 	report := wire.CacheReport{Disk: disk, IO: io}
+	if m.obs.reg != nil {
+		// Piggyback the MSU's cumulative metrics snapshot; the
+		// Coordinator diffs it against the last one it merged.
+		snap := m.obs.reg.Snapshot()
+		report.Obs = &snap
+	}
 	if c != nil {
 		report.Stats = c.Stats()
 		for _, cov := range c.Coverage() {
@@ -417,7 +428,7 @@ func (m *MSU) reconnect() {
 
 // buildHello assembles the registration message from the volumes.
 func (m *MSU) buildHello() (*wire.MSUHello, error) {
-	hello := &wire.MSUHello{ID: m.cfg.ID, NetBandwidth: m.cfg.NetBandwidth}
+	hello := &wire.MSUHello{ID: m.cfg.ID, NetBandwidth: m.cfg.NetBandwidth, ProtoVersion: wire.ProtoVersion}
 	m.mu.Lock()
 	if m.transferLn != nil {
 		hello.TransferAddr = m.transferLn.Addr().String()
@@ -586,6 +597,7 @@ func (m *MSU) startStream(spec core.StreamSpec) (*wire.StartStreamOK, error) {
 			return nil, fmt.Errorf("msu: connecting client control: %w", err)
 		}
 	}
+	m.obs.streams.Inc()
 	m.logf("stream %d (%s %q) started", spec.Stream, map[bool]string{true: "record", false: "play"}[spec.Record], spec.Content)
 	return resp, nil
 }

@@ -1,0 +1,44 @@
+package msu
+
+import (
+	"calliope/internal/obs"
+)
+
+// msuMetrics holds the MSU's pre-registered instrument handles. It is
+// a value field on MSU holding only pointers: a zero-value MSU (as
+// BenchmarkPlayerDeliveryPath constructs) has nil handles, and every
+// obs method is a no-op on nil — so the delivery hot path carries the
+// instrumentation at zero cost when observability is off, and a single
+// atomic update when on. Per DESIGN.md §3i the per-packet path must
+// stay 0 allocs/op: only these pre-registered atomics, never a map
+// lookup, interface or lock.
+type msuMetrics struct {
+	// reg is the MSU-local registry; reportCache ships its cumulative
+	// snapshot to the Coordinator, which merges deltas cluster-wide.
+	reg *obs.Registry
+
+	packets  *obs.Counter   // delivery_packets_total
+	bytes    *obs.Counter   // delivery_bytes_total
+	lateness *obs.Histogram // delivery_lateness_seconds (send time vs pacing target)
+
+	pagesRead *obs.Counter // disk_pages_read_total (IB-tree pages from disk)
+	cacheHits *obs.Counter // cache_page_hits_total (pages served from RAM)
+
+	streams     *obs.Counter // msu_streams_started_total
+	eofs        *obs.Counter // delivery_eof_total
+	transferOut *obs.Counter // transfer_bytes_out_total (replication copy-outs)
+}
+
+func newMSUMetrics(r *obs.Registry) msuMetrics {
+	return msuMetrics{
+		reg:         r,
+		packets:     r.Counter("delivery_packets_total"),
+		bytes:       r.Counter("delivery_bytes_total"),
+		lateness:    r.Histogram("delivery_lateness_seconds", obs.DefaultLatencyBuckets),
+		pagesRead:   r.Counter("disk_pages_read_total"),
+		cacheHits:   r.Counter("cache_page_hits_total"),
+		streams:     r.Counter("msu_streams_started_total"),
+		eofs:        r.Counter("delivery_eof_total"),
+		transferOut: r.Counter("transfer_bytes_out_total"),
+	}
+}

@@ -332,6 +332,7 @@ func (s *stream) playerEOF(p *player) {
 		s.pos = 0
 	}
 	s.mu.Unlock()
+	s.m.obs.eofs.Inc()
 	// A finished viewer changes the content's heat: tell the
 	// Coordinator so queued plays of now-warm content can admit.
 	s.m.reportCache(s.spec.Disk)
@@ -554,6 +555,7 @@ func (p *player) loadNextPage(cur *ibtree.PageCursor, next int64) (*queue.PageRe
 		if hit := p.cache.Lookup(p.cname, next); hit != nil {
 			ok, err := cur.AttachPage(hit.Bytes())
 			if err == nil && ok {
+				p.s.m.obs.cacheHits.Inc()
 				return hit, nil
 			}
 			// The entry failed page verification (or the cursor is past
@@ -585,6 +587,7 @@ func (p *player) loadNextPage(cur *ibtree.PageCursor, next int64) (*queue.PageRe
 		page.Release()
 		return nil, fmt.Errorf("msu: page %d vanished mid-read", next)
 	}
+	p.s.m.obs.pagesRead.Inc()
 	if insert {
 		p.cache.Insert(p.cname, next, page)
 	}
@@ -626,6 +629,10 @@ func (p *player) netLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 	if !timer.Stop() {
 		<-timer.C
 	}
+	// om aliases the MSU's pre-registered handles: the per-packet path
+	// below touches only these atomics (nil-safe no-ops on a zero-value
+	// MSU), keeping the loop at 0 allocs/op.
+	om := &p.s.m.obs
 	epoch := time.Now()
 	for {
 		d, ok := q.Dequeue()
@@ -646,7 +653,8 @@ func (p *player) netLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 		// final packet, so end-of-stream is announced on the delivery
 		// timeline, never before the last datagram has been sent.
 		target := epoch.Add(d.t - p.startPos)
-		if w := time.Until(target); w > 0 {
+		w := time.Until(target)
+		if w > 0 {
 			timer.Reset(w)
 			select {
 			case <-p.cancel:
@@ -684,6 +692,13 @@ func (p *player) netLoop(q *queue.SPSC[descriptor], diskDone chan struct{}) {
 			p.s.m.logf("stream %d: send: %v", p.s.spec.Stream, err)
 		}
 		d.page.Release()
+		// A packet sent at w>0 waited for its slot (lateness ~0, clamped
+		// into the first bucket); w<0 means it left -w behind schedule.
+		// -w was computed for the pacing wait anyway, so observing it
+		// costs no extra clock read.
+		om.packets.Inc()
+		om.bytes.Add(int64(d.n))
+		om.lateness.Observe(-w)
 		p.s.updatePos(p.speed, d.t)
 	}
 }

@@ -114,7 +114,15 @@ func (m *MSU) serveTransfer(conn net.Conn) error {
 	}
 	m.logf("transfer: serving %q to %s", req.Content, conn.RemoteAddr())
 	pace := ratePacer(req.Rate)
-	if err := replicate.Serve(conn, files, req, replicate.ServeOptions{Pace: pace}); err != nil {
+	// The pace hook sees every chunk leave; piggyback the copy-out byte
+	// counter on it rather than wrapping the connection.
+	counted := func(n int) {
+		m.obs.transferOut.Add(int64(n))
+		if pace != nil {
+			pace(n)
+		}
+	}
+	if err := replicate.Serve(conn, files, req, replicate.ServeOptions{Pace: counted}); err != nil {
 		return fmt.Errorf("serving %q: %w", req.Content, err)
 	}
 	return nil

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// EventSource pages through an event timeline: events with Seq >
+// since, optionally filtered to one stream, at most max (max <= 0
+// means all), plus the highest sequence assigned so far.
+type EventSource func(since, stream uint64, max int) ([]Event, uint64)
+
+// EventsPage is the JSON shape of the /events endpoint: a batch of
+// events plus the cursor to pass as ?since= for the next page.
+type EventsPage struct {
+	Events []Event `json:"events"`
+	Next   uint64  `json:"next"`
+}
+
+// NewHTTPHandler serves the Coordinator's opt-in observability
+// endpoint (the -http flag):
+//
+//	/metrics     Prometheus text exposition of snapshot()
+//	/events      JSON event tail; ?since=N&stream=S&max=M page through
+//	/debug/pprof the standard net/http/pprof handlers
+//
+// The handler only reads snapshots — it holds no Coordinator locks
+// across a response write.
+func NewHTTPHandler(snapshot func() Snapshot, events EventSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, "calliope", snapshot()) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		since := parseUint(q.Get("since"))
+		stream := parseUint(q.Get("stream"))
+		max, _ := strconv.Atoi(q.Get("max"))
+		evs, next := events(since, stream, max)
+		if evs == nil {
+			evs = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(EventsPage{Events: evs, Next: next}) //nolint:errcheck // client gone mid-tail
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("calliope coordinator\n/metrics\n/events?since=N&stream=S&max=M\n/debug/pprof/\n")) //nolint:errcheck // best effort
+	})
+	return mux
+}
+
+func parseUint(s string) uint64 {
+	v, _ := strconv.ParseUint(s, 10, 64)
+	return v
+}

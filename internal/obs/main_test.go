@@ -1,0 +1,12 @@
+package obs
+
+import (
+	"testing"
+
+	"calliope/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running
+// (an HTTP server from the handler tests, or a ring follower without
+// a shutdown edge).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4): one TYPE line per metric, names prefixed and
+// sanitized, histograms as cumulative le-buckets plus _sum/_count.
+// Output is sorted by name so it is stable for golden tests and diffs.
+func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := metricName(prefix, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := metricName(prefix, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", full, full, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeHist(w, metricName(prefix, name), s.Hists[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, full string, h HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", full); err != nil {
+		return err
+	}
+	var cum int64
+	for i, n := range h.Counts {
+		cum += n
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatFloat(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", full, formatFloat(h.Sum), full, h.Count)
+	return err
+}
+
+// formatFloat renders bucket bounds and sums the way Prometheus
+// clients conventionally do: shortest representation that round-trips.
+func formatFloat(f float64) string {
+	if math.IsInf(f, +1) {
+		return "+Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", f), "0"), ".")
+}
+
+// metricName joins prefix and name and maps every byte outside the
+// Prometheus name alphabet [a-zA-Z0-9_:] to '_'.
+func metricName(prefix, name string) string {
+	full := name
+	if prefix != "" {
+		full = prefix + "_" + name
+	}
+	var b strings.Builder
+	b.Grow(len(full))
+	for i := 0; i < len(full); i++ {
+		c := full[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

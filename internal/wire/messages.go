@@ -4,9 +4,21 @@ import (
 	"time"
 
 	"calliope/internal/core"
+	"calliope/internal/obs"
 	"calliope/internal/trace"
 	"calliope/internal/units"
 )
+
+// ProtoVersion is the control-protocol revision this build speaks.
+// Both hellos carry it, so a mixed-version pairing fails at
+// registration with an error naming both versions instead of limping
+// along on silently zero-valued fields.
+//
+//	1 — the unversioned protocol (peers that predate the field send 0,
+//	    which is treated as 1)
+//	2 — obs snapshots: StatusV2, cache-report piggybacked deltas, the
+//	    events RPC
+const ProtoVersion = 2
 
 // Message type names. Grouped by relationship.
 const (
@@ -21,6 +33,8 @@ const (
 	TypeDeleteContent  = "delete-content"
 	TypeAddType        = "add-type"
 	TypeStatus         = "status"
+	TypeStatusV2       = "status-v2"
+	TypeEvents         = "events"
 
 	// MSU → Coordinator.
 	TypeMSUHello      = "msu-hello"
@@ -58,6 +72,10 @@ const (
 // Hello opens a client session.
 type Hello struct {
 	User string `json:"user"`
+	// ProtoVersion is the protocol revision the client speaks (the
+	// package constant); 0 means a pre-versioning build and is read
+	// as 1.
+	ProtoVersion int `json:"protoVersion,omitempty"`
 }
 
 // Welcome answers Hello.
@@ -183,6 +201,85 @@ type Status struct {
 	Repl trace.ReplStats `json:"repl,omitzero"`
 }
 
+// StatusV2 answers TypeStatusV2: the versioned replacement for the
+// grab-bag Status scalars. Everything countable lives in one mergeable
+// obs.Snapshot (gauges like sessions/active_streams, counters like
+// requests_total/repl_planned_total, the MSU-shipped delivery metrics
+// and lateness histograms); only the structured per-disk and per-NIC
+// ledger detail keeps dedicated fields. Old callers keep TypeStatus —
+// the Coordinator derives the legacy blob via Legacy().
+type StatusV2 struct {
+	Version  int          `json:"version"` // ProtoVersion of the answering Coordinator
+	Snapshot obs.Snapshot `json:"snapshot"`
+	Disks    []DiskUsage  `json:"disks,omitempty"`
+	Net      []NetUsage   `json:"net,omitempty"`
+}
+
+// Gauge and counter names StatusV2 uses for the former Status scalars.
+const (
+	GaugeMSUs          = "msus"
+	GaugeMSUsAvailable = "msus_available"
+	GaugeActiveStreams = "active_streams"
+	GaugeQueuedPlays   = "queued_plays"
+	GaugeContents      = "contents"
+	GaugeSessions      = "sessions"
+	GaugeLostRecs      = "lost_recordings"
+	GaugeReplActive    = "repl_active"
+	CounterRequests    = "requests_total"
+	CounterReplPlanned = "repl_planned_total"
+	CounterReplDone    = "repl_completed_total"
+	CounterReplAborted = "repl_aborted_total"
+	CounterReplDropped = "repl_dropped_total"
+	CounterReplBytes   = "repl_bytes_copied_total"
+)
+
+// Legacy is the compatibility shim: it reconstructs the v1 Status blob
+// from the snapshot's named gauges and counters, so the old TypeStatus
+// call (and every tool built on it) keeps working against a v2
+// Coordinator.
+func (v StatusV2) Legacy() Status {
+	s := v.Snapshot
+	return Status{
+		MSUs:           int(s.Gauge(GaugeMSUs)),
+		MSUsAvailable:  int(s.Gauge(GaugeMSUsAvailable)),
+		ActiveStreams:  int(s.Gauge(GaugeActiveStreams)),
+		QueuedPlays:    int(s.Gauge(GaugeQueuedPlays)),
+		Contents:       int(s.Gauge(GaugeContents)),
+		Sessions:       int(s.Gauge(GaugeSessions)),
+		LostRecordings: int(s.Gauge(GaugeLostRecs)),
+		Requests:       s.Counter(CounterRequests),
+		Disks:          v.Disks,
+		Net:            v.Net,
+		Repl: trace.ReplStats{
+			Active:      s.Gauge(GaugeReplActive),
+			Planned:     s.Counter(CounterReplPlanned),
+			Completed:   s.Counter(CounterReplDone),
+			Aborted:     s.Counter(CounterReplAborted),
+			Dropped:     s.Counter(CounterReplDropped),
+			BytesCopied: s.Counter(CounterReplBytes),
+		},
+	}
+}
+
+// EventsRequest pages through the Coordinator's event timeline
+// (TypeEvents): events with Seq > Since, optionally one stream only,
+// at most Max (0 = all buffered). WaitMillis > 0 long-polls: if
+// nothing is newer than Since, the Coordinator parks the request until
+// an event arrives or the wait expires — the `events --follow` tail.
+type EventsRequest struct {
+	Since      uint64 `json:"since"`
+	Stream     uint64 `json:"stream,omitempty"`
+	Max        int    `json:"max,omitempty"`
+	WaitMillis int    `json:"waitMillis,omitempty"`
+}
+
+// EventsReply answers TypeEvents. Next is the cursor for the next
+// request's Since.
+type EventsReply struct {
+	Events []obs.Event `json:"events"`
+	Next   uint64      `json:"next"`
+}
+
 // NetUsage is one MSU's network-bandwidth scheduling state: cached and
 // uncached streams alike reserve NIC bandwidth, so this is the binding
 // limit once the RAM cache absorbs the disk load.
@@ -242,6 +339,10 @@ type MSUHello struct {
 	// transfer connections (internal/replicate). Empty means the MSU
 	// cannot serve as a replication source.
 	TransferAddr string `json:"transferAddr,omitempty"`
+	// ProtoVersion is the protocol revision the MSU speaks (the
+	// package constant); 0 means a pre-versioning build and is read
+	// as 1.
+	ProtoVersion int `json:"protoVersion,omitempty"`
 }
 
 // ContentCoverage is one content's RAM-cache footprint on an MSU disk:
@@ -267,6 +368,12 @@ type CacheReport struct {
 	// coalescing, seek distance, deadline lateness) alongside the cache
 	// heat, so operator tooling sees the elevator's effect.
 	IO trace.IOSchedStats `json:"io,omitzero"`
+	// Obs piggybacks the MSU's cumulative metrics snapshot (packets
+	// sent, lateness histogram, fetch/cache counters). The Coordinator
+	// diffs it against the last snapshot it saw from this MSU and folds
+	// the delta into the cluster registry, so totals survive lost
+	// notifications and MSU restarts without a second reporting channel.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // MSUWelcome answers MSUHello.

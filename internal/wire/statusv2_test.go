@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"calliope/internal/obs"
+)
+
+// TestStatusV2LegacyShim pins the compatibility mapping: a v2 snapshot
+// must reconstruct every v1 Status scalar, including the nested
+// replication stats.
+func TestStatusV2LegacyShim(t *testing.T) {
+	v2 := StatusV2{
+		Version: ProtoVersion,
+		Snapshot: obs.Snapshot{
+			Gauges: map[string]int64{
+				GaugeMSUs:          3,
+				GaugeMSUsAvailable: 2,
+				GaugeActiveStreams: 7,
+				GaugeQueuedPlays:   1,
+				GaugeContents:      12,
+				GaugeSessions:      4,
+				GaugeLostRecs:      1,
+				GaugeReplActive:    2,
+			},
+			Counters: map[string]int64{
+				CounterRequests:    99,
+				CounterReplPlanned: 5,
+				CounterReplDone:    3,
+				CounterReplAborted: 1,
+				CounterReplDropped: 1,
+				CounterReplBytes:   1 << 20,
+			},
+		},
+		Disks: []DiskUsage{{Alive: true}},
+		Net:   []NetUsage{{MSU: "m0", Alive: true}},
+	}
+	st := v2.Legacy()
+	if st.MSUs != 3 || st.MSUsAvailable != 2 || st.ActiveStreams != 7 || st.QueuedPlays != 1 {
+		t.Fatalf("scheduling scalars wrong: %+v", st)
+	}
+	if st.Contents != 12 || st.Sessions != 4 || st.LostRecordings != 1 || st.Requests != 99 {
+		t.Fatalf("session scalars wrong: %+v", st)
+	}
+	if st.Repl.Planned != 5 || st.Repl.Active != 2 || st.Repl.Completed != 3 ||
+		st.Repl.Aborted != 1 || st.Repl.Dropped != 1 || st.Repl.BytesCopied != 1<<20 {
+		t.Fatalf("repl stats wrong: %+v", st.Repl)
+	}
+	if len(st.Disks) != 1 || len(st.Net) != 1 {
+		t.Fatalf("structured fields lost: %+v", st)
+	}
+}
+
+// TestCallContextCancel pins CallContext's cancellation semantics: a
+// canceled context abandons the call with context.Canceled in the
+// error chain, and the connection stays usable for later calls.
+func TestCallContextCancel(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	release := make(chan struct{})
+	server := NewPeer(b, func(msgType string, _ json.RawMessage) (any, error) {
+		if msgType == "slow" {
+			<-release
+		}
+		return map[string]string{"ok": "yes"}, nil
+	}, nil)
+	defer server.Close()
+	client := NewPeer(a, nil, nil)
+	defer client.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := client.CallContext(ctx, "slow", struct{}{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CallContext after cancel = %v, want context.Canceled", err)
+	}
+
+	close(release) // let the parked handler finish before reusing the pipe
+	var resp map[string]string
+	if err := client.CallContext(context.Background(), "fast", struct{}{}, &resp); err != nil {
+		t.Fatalf("connection unusable after canceled call: %v", err)
+	}
+	if resp["ok"] != "yes" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+// TestCallContextPreCanceled pins the fast path: an already-dead
+// context fails before any bytes hit the wire.
+func TestCallContextPreCanceled(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	client := NewPeer(a, nil, nil)
+	defer client.Close()
+	server := NewPeer(b, nil, nil)
+	defer server.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := client.CallContext(ctx, "x", struct{}{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled CallContext = %v, want context.Canceled", err)
+	}
+}

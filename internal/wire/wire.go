@@ -15,6 +15,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -229,6 +230,60 @@ func (p *Peer) CallTimeout(msgType string, req, resp any, timeout time.Duration)
 		}
 	} else {
 		e, ok = <-ch
+	}
+	if !ok || e == nil {
+		return fmt.Errorf("%w while awaiting %s", ErrClosed, msgType)
+	}
+	if e.Kind == KindError {
+		return fmt.Errorf("%w: %s", ErrRemote, e.Err)
+	}
+	if resp != nil {
+		return e.Decode(resp)
+	}
+	return nil
+}
+
+// CallContext is Call bounded by a context: cancellation or deadline
+// expiry abandons the pending slot exactly like CallTimeout — a late
+// response is discarded and the connection stays usable. The context's
+// error is returned verbatim so callers can distinguish cancellation
+// from a deadline.
+func (p *Peer) CallContext(ctx context.Context, msgType string, req, resp any) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("wire: %s: %w", msgType, err)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("wire: encoding %s request: %w", msgType, err)
+	}
+	id := p.nextID.Add(1)
+	ch := make(chan *Envelope, 1)
+
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	if err := p.send(&Envelope{Kind: KindRequest, ID: id, Type: msgType, Body: body}); err != nil {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return err
+	}
+
+	var e *Envelope
+	var ok bool
+	select {
+	case e, ok = <-ch:
+	case <-ctx.Done():
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return fmt.Errorf("wire: %s: %w", msgType, ctx.Err())
 	}
 	if !ok || e == nil {
 		return fmt.Errorf("%w while awaiting %s", ErrClosed, msgType)

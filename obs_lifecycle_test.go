@@ -1,0 +1,149 @@
+package calliope
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"calliope/internal/obs"
+)
+
+// TestObservabilityLifecycle drives a full play → MSU crash → migrate
+// → EOF life through a 2-MSU cluster and then scrapes the
+// Coordinator's HTTP endpoint: /metrics must expose non-zero admission
+// and delivery counters (the latter arrive as MSU deltas piggybacked
+// on cache reports), and /events must carry the stream's admit,
+// dispatch, migrate and EOF entries in order.
+func TestObservabilityLifecycle(t *testing.T) {
+	cluster, inj := faultCluster(t, 2, 2*time.Second, 0, "")
+	c, err := Dial(cluster.Addr(), "olive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	recv, err := NewReceiver("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	if err := c.RegisterPort("tv", "mpeg1", recv.Addr(), ""); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.Play("movie", "tv", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recv.WaitCount(3, 5*time.Second) {
+		t.Fatal("stream never started")
+	}
+
+	crash(inj[0])
+	select {
+	case <-stream.Migrated():
+	case l := <-stream.Lost():
+		t.Fatalf("stream lost (%q) with a live replica available", l.Reason)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no migration after MSU crash")
+	}
+	select {
+	case <-stream.EOF():
+	case <-time.After(15 * time.Second):
+		t.Fatal("no EOF after migration")
+	}
+	stream.Quit() //nolint:errcheck // the group may already be torn down at EOF
+
+	srv := httptest.NewServer(cluster.Coordinator.HTTPHandler())
+	defer srv.Close()
+
+	// Delivery counters reach the Coordinator asynchronously (deltas
+	// ride the surviving MSU's cache reports, and the EOF triggers
+	// one), so poll the scrape until they are both visible.
+	metricRe := regexp.MustCompile(`(?m)^calliope_(\w+) (\d+)$`)
+	var metrics map[string]int64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body := httpGet(t, srv.URL+"/metrics")
+		metrics = make(map[string]int64)
+		for _, m := range metricRe.FindAllStringSubmatch(body, -1) {
+			v, _ := strconv.ParseInt(m[2], 10, 64)
+			metrics[m[1]] = v
+		}
+		if metrics["admission_admitted_total"] > 0 && metrics["delivery_packets_total"] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never showed admission+delivery: %v", metrics)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, name := range []string{"dispatch_total", "migrations_total", "delivery_bytes_total", "streams_ended_total"} {
+		if metrics[name] <= 0 {
+			t.Errorf("%s = %d, want > 0", name, metrics[name])
+		}
+	}
+
+	// The stream's timeline: admitted, dispatched, migrated, ended —
+	// in sequence order.
+	streamID := uint64(stream.Info().Streams[0].Stream)
+	var page obs.EventsPage
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/events?stream="+strconv.FormatUint(streamID, 10))), &page); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	last := uint64(0)
+	for _, ev := range page.Events {
+		if ev.Seq <= last {
+			t.Fatalf("timeline out of order: %+v", page.Events)
+		}
+		last = ev.Seq
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{obs.EvDispatch, obs.EvMigrate, obs.EvEOF}
+	for _, k := range want {
+		found := false
+		for _, got := range kinds {
+			if got == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stream %d timeline missing %q: %v", streamID, k, kinds)
+		}
+	}
+
+	// The unfiltered timeline also carries the session-level admit.
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/events")), &page); err != nil {
+		t.Fatal(err)
+	}
+	admits := 0
+	for _, ev := range page.Events {
+		if ev.Kind == obs.EvAdmit {
+			admits++
+		}
+	}
+	if admits == 0 {
+		t.Errorf("no admit events on the timeline")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(body)
+}
